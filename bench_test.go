@@ -1,0 +1,69 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation. Each bench regenerates its artifact on a reduced
+// benchmark set (the quick subset, small ops budgets) so `go test -bench=.`
+// exercises every experiment end to end; `cmd/experiments` produces the
+// full-size tables. Headline metrics are attached via b.ReportMetric.
+package hdpat_test
+
+import (
+	"strconv"
+	"testing"
+
+	"hdpat/internal/experiments"
+)
+
+// benchParams keeps bench runs small but representative.
+func benchParams() experiments.Params {
+	return experiments.Params{Quick: true, OpsBudget: 32, Seed: 3,
+		Benchmarks: []string{"PR", "SPMV", "FIR"}}
+}
+
+// runExperiment executes one experiment b.N times and reports a headline
+// metric extracted from the final table (the last row's last numeric cell,
+// which is the MEAN/GEOMEAN for the performance figures).
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tbl experiments.Table
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(benchParams())
+		tbl, err = e.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(tbl.Rows) == 0 {
+		b.Fatalf("%s produced no rows", id)
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	for i := len(last) - 1; i >= 0; i-- {
+		if v, err := strconv.ParseFloat(last[i], 64); err == nil {
+			b.ReportMetric(v, "headline")
+			break
+		}
+	}
+}
+
+func BenchmarkTable1Config(b *testing.B)        { runExperiment(b, "tab1") }
+func BenchmarkTable2Workloads(b *testing.B)     { runExperiment(b, "tab2") }
+func BenchmarkFig2Headroom(b *testing.B)        { runExperiment(b, "fig2") }
+func BenchmarkFig3Breakdown(b *testing.B)       { runExperiment(b, "fig3") }
+func BenchmarkFig4BufferPressure(b *testing.B)  { runExperiment(b, "fig4") }
+func BenchmarkFig5Imbalance(b *testing.B)       { runExperiment(b, "fig5") }
+func BenchmarkFig6ReuseCounts(b *testing.B)     { runExperiment(b, "fig6") }
+func BenchmarkFig7ReuseDistance(b *testing.B)   { runExperiment(b, "fig7") }
+func BenchmarkFig8Spatial(b *testing.B)         { runExperiment(b, "fig8") }
+func BenchmarkFig13SizeInvariance(b *testing.B) { runExperiment(b, "fig13") }
+func BenchmarkFig14Overall(b *testing.B)        { runExperiment(b, "fig14") }
+func BenchmarkFig15Ablation(b *testing.B)       { runExperiment(b, "fig15") }
+func BenchmarkFig16Offload(b *testing.B)        { runExperiment(b, "fig16") }
+func BenchmarkFig17RoundTrip(b *testing.B)      { runExperiment(b, "fig17") }
+func BenchmarkFig18PrefetchDegree(b *testing.B) { runExperiment(b, "fig18") }
+func BenchmarkFig19RTvsTLB(b *testing.B)        { runExperiment(b, "fig19") }
+func BenchmarkFig20PageSize(b *testing.B)       { runExperiment(b, "fig20") }
+func BenchmarkFig21GPUConfigs(b *testing.B)     { runExperiment(b, "fig21") }
+func BenchmarkFig22Wafer7x12(b *testing.B)      { runExperiment(b, "fig22") }
+func BenchmarkAreaPower(b *testing.B)           { runExperiment(b, "area") }

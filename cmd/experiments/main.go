@@ -1,0 +1,96 @@
+// Command experiments regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	experiments [-run id[,id...]] [-quick] [-budget N] [-seed N] [-bench A,B]
+//
+// Without -run it executes every experiment in paper order. Use -list to
+// see the available ids.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hdpat/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	quick := flag.Bool("quick", false, "quick mode: fewer benchmarks, smaller budgets")
+	budget := flag.Int("budget", 0, "per-CU operation budget override")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	bench := flag.String("bench", "", "comma-separated benchmark subset")
+	asJSON := flag.Bool("json", false, "emit results as a JSON array")
+	asCSV := flag.Bool("csv", false, "emit results as CSV blocks")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	p := experiments.Params{Quick: *quick, OpsBudget: *budget, Seed: *seed}
+	if *bench != "" {
+		p.Benchmarks = strings.Split(*bench, ",")
+	}
+	session := experiments.NewSession(p)
+
+	var selected []experiments.Experiment
+	if *run == "" {
+		for _, e := range experiments.All() {
+			if experiments.RunByDefault(e.ID) {
+				selected = append(selected, e)
+			}
+		}
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	t0 := time.Now()
+	var tables []experiments.Table
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run(session)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		switch {
+		case *asJSON:
+			tables = append(tables, table)
+		case *asCSV:
+			fmt.Printf("# %s: %s\n%s\n", table.ID, table.Title, table.CSV())
+		default:
+			fmt.Println(table.String())
+			fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Truncate(time.Millisecond))
+		}
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	if !*asCSV {
+		fmt.Printf("total: %d experiments, %d simulations, %s\n",
+			len(selected), session.Runs, time.Since(t0).Truncate(time.Millisecond))
+	}
+}

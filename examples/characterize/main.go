@@ -1,0 +1,91 @@
+// Characterize: reproduce the O1-O4 workload analysis of §III for any
+// benchmark — IOMMU pressure, reuse counts, reuse distances and spatial
+// locality of the translation request stream — using the trace observer
+// hook of the simulator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hdpat/internal/config"
+	"hdpat/internal/sim"
+	"hdpat/internal/stats"
+	"hdpat/internal/wafer"
+	"hdpat/internal/workload"
+	"hdpat/internal/xlat"
+)
+
+func main() {
+	bench := flag.String("bench", "SPMV", "benchmark to characterise")
+	budget := flag.Int("budget", 64, "ops per CU")
+	flag.Parse()
+
+	b, err := workload.ByAbbr(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, _ := wafer.ConfigFor("baseline", config.Default())
+
+	reuse := stats.NewReuseTracker()
+	var spatial stats.SpatialTracker
+	res, err := wafer.Run(cfg, wafer.Options{
+		Scheme: "baseline", Benchmark: b, OpsBudget: *budget, Seed: 1,
+		QueueWindow: 2000,
+		Observer: func(now sim.VTime, req *xlat.Request) {
+			reuse.Touch(uint64(req.VPN))
+			spatial.Touch(uint64(req.VPN))
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("=== %s: translation characterisation (baseline, %d ops) ===\n\n", *bench, res.TotalOps)
+
+	fmt.Println("O1 — IOMMU pressure:")
+	pre, q, w := res.IOMMU.Breakdown.Means()
+	fmt.Printf("  %d requests, %d walks; latency pre-queue %.0f + queue %.0f + walk %.0f cycles\n",
+		res.IOMMU.Requests, res.IOMMU.Walks, pre, q, w)
+	fmt.Printf("  peak queue depth %d\n", res.IOMMU.PeakQueue)
+	fmt.Printf("  depth over time: %s\n\n", res.QueueSeries.Sparkline(60))
+
+	fmt.Println("O3 — translation reuse at the IOMMU:")
+	h := reuse.CountHistogram()
+	fmt.Printf("  %d unique pages, %.0f%% translated exactly once, max %d translations\n",
+		reuse.UniquePages(), 100*reuse.SingleTouchFraction(), h.Max())
+	if reuse.Distances.Total() > 0 {
+		fmt.Printf("  reuse distance: mean %.0f, max %d, %.0f%% within 256 requests\n",
+			reuse.Distances.Mean(), reuse.Distances.Max(), 100*reuse.Distances.FractionAtMost(256))
+	}
+	fmt.Println()
+
+	fmt.Println("O4 — spatial locality of consecutive requests:")
+	for _, d := range []uint64{1, 2, 4} {
+		fmt.Printf("  within %d page(s): %5.1f%%\n", d, 100*spatial.FractionWithin(d))
+	}
+
+	fmt.Println("\nO2 — geometric imbalance (per-ring mean finish, kcycles):")
+	cpuX, cpuY := (cfg.MeshW-1)/2, (cfg.MeshH-1)/2
+	sums := map[int]float64{}
+	counts := map[int]int{}
+	for i, c := range res.GPMCoords {
+		dx, dy := c.X-cpuX, c.Y-cpuY
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		r := dx
+		if dy > dx {
+			r = dy
+		}
+		sums[r] += float64(res.GPMFinish[i])
+		counts[r]++
+	}
+	for r := 1; counts[r] > 0; r++ {
+		fmt.Printf("  ring %d: %8.1f\n", r, sums[r]/float64(counts[r])/1000)
+	}
+}

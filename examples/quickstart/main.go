@@ -1,0 +1,31 @@
+// Quickstart: run one benchmark under the baseline and under HDPAT on the
+// paper's default 7x7 wafer, and print the headline comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hdpat"
+)
+
+func main() {
+	cfg := hdpat.DefaultConfig()
+
+	base, res, speedup, err := hdpat.Compare(cfg, "hdpat", "SPMV", 64, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("SPMV on a 7x7 wafer-scale GPU (48 GPMs, central IOMMU)")
+	fmt.Printf("  baseline: %8d cycles, %6.0f-cycle avg remote translation\n",
+		base.Cycles, base.AvgRemoteLatency())
+	fmt.Printf("  HDPAT:    %8d cycles, %6.0f-cycle avg remote translation\n",
+		res.Cycles, res.AvgRemoteLatency())
+	fmt.Printf("  speedup:  %.2fx, offloading %.1f%% of remote translations from the IOMMU\n",
+		speedup, 100*res.OffloadFraction())
+
+	by := res.RemoteBySource()
+	fmt.Printf("  served by: peer=%d proactive=%d redirect=%d iommu=%d\n",
+		by[1], by[2], by[3], by[0])
+}

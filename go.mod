@@ -1,0 +1,3 @@
+module hdpat
+
+go 1.22

@@ -1,0 +1,129 @@
+// Package hdpat is the public entry point of the HDPAT reproduction: a
+// discrete-event simulator of wafer-scale GPU address translation
+// implementing the paper's hierarchical distributed translation scheme
+// (concentric auxiliary caching with clustering and rotation, IOMMU
+// redirection, PW-queue revisit, and proactive page-entry delivery) together
+// with the baseline and comparator schemes its evaluation uses.
+//
+// Typical use:
+//
+//	cfg := hdpat.DefaultConfig()                    // Table I system
+//	res, err := hdpat.Simulate(cfg, hdpat.RunSpec{
+//	    Scheme:    "hdpat",
+//	    Benchmark: "SPMV",
+//	})
+//	fmt.Println(res.Cycles, res.OffloadFraction())
+//
+// The cmd/experiments tool regenerates every table and figure of the
+// paper's evaluation on top of this API.
+package hdpat
+
+import (
+	"fmt"
+
+	"hdpat/internal/config"
+	"hdpat/internal/wafer"
+	"hdpat/internal/workload"
+)
+
+// Config is the full system configuration (Table I defaults via
+// DefaultConfig). It re-exports config.System.
+type Config = config.System
+
+// IOMMUConfig re-exports the IOMMU parameters for sensitivity sweeps.
+type IOMMUConfig = config.IOMMU
+
+// Result is the outcome of one simulation run.
+type Result = wafer.Result
+
+// DefaultConfig returns the paper's Table I system: a 7x7 wafer of
+// quarter-MI100 GPMs with a central CPU/IOMMU, 4 KB pages.
+func DefaultConfig() Config { return config.Default() }
+
+// Wafer7x12Config returns the enlarged wafer of Fig 22.
+func Wafer7x12Config() Config { return config.Wafer7x12() }
+
+// Schemes lists every available translation scheme, from "baseline" to
+// "hdpat" and the comparators ("transfw", "valkyrie", "barre", ...).
+func Schemes() []string { return wafer.SchemeNames() }
+
+// Benchmarks lists the Table II benchmark abbreviations.
+func Benchmarks() []string { return workload.Names() }
+
+// RunSpec names what to simulate.
+type RunSpec struct {
+	// Scheme is one of Schemes() (default "baseline").
+	Scheme string
+	// Benchmark is one of Benchmarks().
+	Benchmark string
+	// OpsBudget is the approximate per-CU operation count (0 = default).
+	OpsBudget int
+	// Seed makes runs reproducible; equal seeds give identical results.
+	Seed int64
+}
+
+// Simulate configures the IOMMU for the chosen scheme, runs the benchmark
+// on the configured wafer, and returns the measured result.
+func Simulate(cfg Config, spec RunSpec) (Result, error) {
+	if spec.Scheme == "" {
+		spec.Scheme = "baseline"
+	}
+	if spec.Benchmark == "" {
+		return Result{}, fmt.Errorf("hdpat: RunSpec.Benchmark is required")
+	}
+	b, err := workload.ByAbbr(spec.Benchmark)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg, err = wafer.ConfigFor(spec.Scheme, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return wafer.Run(cfg, wafer.Options{
+		Scheme:    spec.Scheme,
+		Benchmark: b,
+		OpsBudget: spec.OpsBudget,
+		Seed:      spec.Seed,
+	})
+}
+
+// SimulateWithIOMMU is Simulate with a hook to adjust the IOMMU parameters
+// after the scheme's defaults are applied — the entry point for sensitivity
+// sweeps (prefetch degree, redirection table size, walker count).
+func SimulateWithIOMMU(cfg Config, spec RunSpec, tweak func(*IOMMUConfig)) (Result, error) {
+	if spec.Scheme == "" {
+		spec.Scheme = "baseline"
+	}
+	b, err := workload.ByAbbr(spec.Benchmark)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg, err = wafer.ConfigFor(spec.Scheme, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if tweak != nil {
+		tweak(&cfg.IOMMU)
+	}
+	return wafer.Run(cfg, wafer.Options{
+		Scheme:    spec.Scheme,
+		Benchmark: b,
+		OpsBudget: spec.OpsBudget,
+		Seed:      spec.Seed,
+	})
+}
+
+// Compare runs the same benchmark under the baseline and the given scheme
+// and returns both results plus the speedup.
+func Compare(cfg Config, scheme, benchmark string, opsBudget int, seed int64) (base, res Result, speedup float64, err error) {
+	base, err = Simulate(cfg, RunSpec{Scheme: "baseline", Benchmark: benchmark, OpsBudget: opsBudget, Seed: seed})
+	if err != nil {
+		return
+	}
+	res, err = Simulate(cfg, RunSpec{Scheme: scheme, Benchmark: benchmark, OpsBudget: opsBudget, Seed: seed})
+	if err != nil {
+		return
+	}
+	speedup = res.Speedup(base)
+	return
+}

@@ -1,0 +1,105 @@
+package hdpat_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hdpat"
+)
+
+func TestSimulateDefault(t *testing.T) {
+	cfg := hdpat.DefaultConfig()
+	cfg.MeshW, cfg.MeshH = 5, 5
+	cfg.GPM.NumCUs = 8
+	res, err := hdpat.Simulate(cfg, hdpat.RunSpec{Scheme: "hdpat", Benchmark: "PR", OpsBudget: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.TotalOps == 0 {
+		t.Fatalf("empty result %+v", res)
+	}
+	if res.Scheme != "hdpat" || res.Benchmark != "PR" {
+		t.Errorf("labels %s/%s", res.Scheme, res.Benchmark)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := hdpat.Simulate(hdpat.DefaultConfig(), hdpat.RunSpec{Scheme: "hdpat"}); err == nil {
+		t.Error("missing benchmark accepted")
+	}
+	if _, err := hdpat.Simulate(hdpat.DefaultConfig(), hdpat.RunSpec{Scheme: "nope", Benchmark: "PR"}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := hdpat.Simulate(hdpat.DefaultConfig(), hdpat.RunSpec{Benchmark: "NOPE"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cfg := hdpat.DefaultConfig()
+	cfg.MeshW, cfg.MeshH = 5, 5
+	cfg.GPM.NumCUs = 8
+	base, res, speedup, err := hdpat.Compare(cfg, "hdpat", "KM", 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Scheme != "baseline" || res.Scheme != "hdpat" {
+		t.Errorf("schemes %s/%s", base.Scheme, res.Scheme)
+	}
+	if speedup <= 0 {
+		t.Errorf("speedup = %f", speedup)
+	}
+}
+
+func TestSimulateWithIOMMU(t *testing.T) {
+	cfg := hdpat.DefaultConfig()
+	cfg.MeshW, cfg.MeshH = 5, 5
+	cfg.GPM.NumCUs = 8
+	applied := false
+	res, err := hdpat.SimulateWithIOMMU(cfg,
+		hdpat.RunSpec{Scheme: "hdpat", Benchmark: "FIR", OpsBudget: 32, Seed: 1},
+		func(io *hdpat.IOMMUConfig) {
+			applied = true
+			io.PrefetchDegree = 8
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied {
+		t.Error("tweak not invoked")
+	}
+	if res.IOMMU.Prefetches == 0 {
+		t.Error("prefetch override had no effect")
+	}
+}
+
+func TestInventories(t *testing.T) {
+	if len(hdpat.Benchmarks()) != 14 {
+		t.Errorf("benchmarks = %d", len(hdpat.Benchmarks()))
+	}
+	if len(hdpat.Schemes()) < 12 {
+		t.Errorf("schemes = %d", len(hdpat.Schemes()))
+	}
+	if hdpat.Wafer7x12Config().MeshH != 12 {
+		t.Error("7x12 config wrong")
+	}
+}
+
+func ExampleBenchmarks() {
+	fmt.Println(len(hdpat.Benchmarks()), hdpat.Benchmarks()[0], hdpat.Benchmarks()[13])
+	// Output: 14 AES SPMV
+}
+
+func ExampleSimulate() {
+	cfg := hdpat.DefaultConfig()
+	cfg.MeshW, cfg.MeshH = 5, 5 // small wafer for a fast example
+	cfg.GPM.NumCUs = 4
+	res, err := hdpat.Simulate(cfg, hdpat.RunSpec{
+		Scheme: "hdpat", Benchmark: "KM", OpsBudget: 24, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Scheme, res.Benchmark, res.Cycles > 0, res.TotalOps > 0)
+	// Output: hdpat KM true true
+}

@@ -1,0 +1,62 @@
+package area
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRedirectionTableNearPaperNumbers(t *testing.T) {
+	rt := RedirectionTable(1024)
+	// Paper: 0.034 mm^2, 0.16 W. The analytical model should land within
+	// a small factor (the paper's own numbers are tool estimates).
+	a := rt.AreaMM2()
+	if a < 0.034*0.8 || a > 0.034*1.2 {
+		t.Errorf("RT area = %f mm^2, paper says 0.034", a)
+	}
+	p := rt.PowerW()
+	if p < 0.16*0.8 || p > 0.16*1.2 {
+		t.Errorf("RT power = %f W, paper says 0.16", p)
+	}
+}
+
+func TestRelativeOverheadTiny(t *testing.T) {
+	r := Estimate(1024, 4096, 48)
+	// Paper: 0.02 % area, 0.09 % power. Demand the same order of magnitude
+	// and, critically, "well under 1 %".
+	if r.AreaPct > 0.5 {
+		t.Errorf("area overhead %.3f%%, want << 1%%", r.AreaPct)
+	}
+	if r.PowerPct > 0.5 {
+		t.Errorf("power overhead %.3f%%, want << 1%%", r.PowerPct)
+	}
+	if r.AreaPct <= 0 || r.PowerPct <= 0 {
+		t.Error("overheads must be positive")
+	}
+}
+
+func TestRTDenserThanTLB(t *testing.T) {
+	rt := RedirectionTable(1024)
+	tlb := IOMMUTLB(512)
+	// Equal area at half the entries (the Fig 19 premise).
+	ratio := rt.AreaMM2() / tlb.AreaMM2()
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("1024-entry RT vs 512-entry TLB area ratio = %f, want ~1", ratio)
+	}
+}
+
+func TestCuckooFilterScalesWithCopies(t *testing.T) {
+	one := CuckooFilter(4096, 1)
+	all := CuckooFilter(4096, 48)
+	if all.TotalBits() != 48*one.TotalBits() {
+		t.Error("copies not applied")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := Estimate(1024, 4096, 48).String()
+	for _, want := range []string{"redirection-table", "cuckoo-filter", "% area"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}

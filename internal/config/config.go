@@ -1,0 +1,333 @@
+// Package config centralises every hardware parameter of the simulated
+// wafer-scale GPU. Default values reproduce Table I of the paper; named
+// variants cover the sensitivity studies: GPU generations (Fig 21), page
+// sizes (Fig 20), wafer shapes (Fig 22) and the idealised IOMMUs of Fig 2.
+package config
+
+import (
+	"fmt"
+
+	"hdpat/internal/cache"
+	"hdpat/internal/dram"
+	"hdpat/internal/noc"
+	"hdpat/internal/sim"
+	"hdpat/internal/tlb"
+	"hdpat/internal/vm"
+)
+
+// GPM describes one GPU Processing Module (Table I).
+type GPM struct {
+	NumCUs int
+
+	L1VCache cache.Config // per-CU vector cache
+	L2Cache  cache.Config // shared
+
+	L1TLB     tlb.Config // per-CU L1 vector TLB
+	L2TLB     tlb.Config // shared
+	GMMUCache tlb.Config // last-level TLB / GMMU cache
+	// AuxTLB sizes the auxiliary translation store a caching-layer GPM
+	// offers its peers. It is deliberately small — a carve-out of the GMMU
+	// cache space, since "GPM cannot afford remote page table replication"
+	// (§IV-F) — which is what makes the IOMMU's pushes selective.
+	AuxTLB tlb.Config
+
+	CuckooLatency sim.VTime // filter check time
+	GMMUWalkers   int
+	WalkCycles    sim.VTime // full local page table walk (100 x 5 levels)
+
+	HBM dram.Config
+
+	// MLP is the number of outstanding memory operations each CU sustains.
+	MLP int
+}
+
+// IOMMU describes the central translation agent (Table I + §IV-F/G).
+type IOMMU struct {
+	Walkers    int
+	WalkCycles sim.VTime
+	// PWQueueCap bounds the internal walker queue; arrivals beyond it wait
+	// in the admission (pre-queue) stage, producing the Fig 3 breakdown.
+	PWQueueCap int
+
+	// Redirection table (§IV-F). Entries=0 disables it.
+	RedirectEntries int
+	// Revisit enables the PW-queue revisit on walk completion
+	// (HDPAT §IV-F step 6; also the core of the Barre baseline).
+	Revisit bool
+
+	// PrefetchDegree is the number of PTEs resolved per demand walk
+	// (1 = demand only; paper default 4, Fig 18 sweeps 1/4/8).
+	PrefetchDegree int
+	// PrefetchExtraCycles is the added walker service per extra PTE;
+	// adjacent PTEs share the leaf page-table page, so this is one extra
+	// memory access amortised across the batch, not a full walk.
+	PrefetchExtraCycles sim.VTime
+
+	// PushThreshold is the per-PTE access count at or above which a walked
+	// translation is pushed to auxiliary GPMs (selective caching, §IV-F).
+	PushThreshold uint32
+
+	// UseTLB replaces the redirection table with an area-equivalent
+	// conventional TLB (512 entries, 32 MSHRs) for the Fig 19 study.
+	UseTLB   bool
+	TLBSets  int
+	TLBWays  int
+	TLBMSHRs int
+}
+
+// HDPAT holds the parameters of the paper's mechanism itself.
+type HDPAT struct {
+	// Layers is C, the number of concentric caching layers (default 2).
+	Layers int
+	// Clusters is Nc, the cluster count per layer (default 4, quadrants).
+	Clusters int
+	// SequentialLayers forces strict inward forwarding instead of the
+	// default concurrent per-layer probes (§IV-D allows both; the ablation
+	// of routing-based and concentric caching uses sequential attempts).
+	SequentialLayers bool
+	// AuxProbeLatency is the cuckoo-check + aux-cache lookup time at a
+	// caching GPM serving a peer probe.
+	AuxProbeLatency sim.VTime
+}
+
+// System is the full simulation configuration.
+type System struct {
+	Name     string
+	MeshW    int
+	MeshH    int
+	PageSize vm.PageSize
+
+	GPM   GPM
+	IOMMU IOMMU
+	HDPAT HDPAT
+	NoC   noc.Config
+
+	// WorkloadScale divides Table II footprints and access counts to keep
+	// simulations tractable (Fig 13 demonstrates size invariance).
+	WorkloadScale int
+}
+
+// Default returns the Table I baseline: a 7x7 wafer (48 GPMs + central
+// CPU) of quarter-MI100 GPMs, 4 KB pages.
+func Default() System {
+	return System{
+		Name:          "mi100-7x7",
+		MeshW:         7,
+		MeshH:         7,
+		PageSize:      vm.Page4K,
+		GPM:           MI100GPM(),
+		IOMMU:         DefaultIOMMU(),
+		HDPAT:         DefaultHDPAT(),
+		NoC:           noc.DefaultConfig(),
+		WorkloadScale: 4,
+	}
+}
+
+// MI100GPM returns the Table I per-GPM configuration (one quarter of an
+// AMD MI100).
+func MI100GPM() GPM {
+	return GPM{
+		NumCUs:   32,
+		L1VCache: cache.Config{SizeBytes: 16 << 10, Ways: 4, MSHRs: 16, Latency: 1},
+		L2Cache:  cache.Config{SizeBytes: 4 << 20, Ways: 16, MSHRs: 64, Latency: 8},
+		L1TLB:    tlb.Config{Sets: 1, Ways: 32, MSHRs: 4, Latency: 4},
+		L2TLB:    tlb.Config{Sets: 64, Ways: 32, MSHRs: 32, Latency: 32},
+		GMMUCache: tlb.Config{
+			Sets: 64, Ways: 16, MSHRs: 32, Latency: 16,
+		},
+		AuxTLB: tlb.Config{
+			Sets: 64, Ways: 16, MSHRs: 0, Latency: 16,
+		},
+		CuckooLatency: 2,
+		GMMUWalkers:   8,
+		WalkCycles:    500,
+		HBM:           dram.DefaultConfig(),
+		MLP:           8,
+	}
+}
+
+// DefaultIOMMU returns the Table I host MMU with all HDPAT extensions
+// disabled; schemes enable what they need.
+func DefaultIOMMU() IOMMU {
+	return IOMMU{
+		Walkers:    16,
+		WalkCycles: 500,
+		// The internal walker queue is small; overflow waits in the
+		// admission (pre-queue) stage. Its size is what bounds the
+		// PW-queue revisit mechanism ("the size of the PW-queue limits the
+		// performance improvement" of Barre, §V-B). Fig 4's experiment
+		// raises it to 4096 to expose the backlog.
+		PWQueueCap:          64,
+		RedirectEntries:     0,
+		Revisit:             false,
+		PrefetchDegree:      1,
+		PrefetchExtraCycles: 5,
+		PushThreshold:       2,
+		TLBSets:             16,
+		TLBWays:             32, // 512 entries, area-equivalent to the 1024-entry RT
+		TLBMSHRs:            32,
+	}
+}
+
+// HDPATIOMMU returns the IOMMU as HDPAT configures it (§IV).
+func HDPATIOMMU() IOMMU {
+	c := DefaultIOMMU()
+	c.RedirectEntries = 1024
+	c.Revisit = true
+	c.PrefetchDegree = 4
+	return c
+}
+
+// DefaultHDPAT returns the paper's default mechanism parameters.
+func DefaultHDPAT() HDPAT {
+	return HDPAT{Layers: 2, Clusters: 4, AuxProbeLatency: 18}
+}
+
+// GPU generation variants (Fig 21). Each GPM remains one quarter of the
+// named device's memory system; CU count stays at 32 so compute supply is
+// comparable and memory-system differences dominate, as in the paper.
+
+// MI200GPM doubles L2 and moves to HBM2e.
+func MI200GPM() GPM {
+	g := MI100GPM()
+	g.L2Cache.SizeBytes = 8 << 20
+	g.HBM.BytesPerCycle = 1600 // 1.6 TB/s
+	return g
+}
+
+// MI300GPM models the larger MI300-class cache hierarchy with HBM3.
+func MI300GPM() GPM {
+	g := MI100GPM()
+	g.L1VCache.SizeBytes = 32 << 10
+	g.L2Cache.SizeBytes = 16 << 20
+	g.HBM.BytesPerCycle = 2600 // ~2.6 TB/s per stack group
+	return g
+}
+
+// H100GPM models the NVIDIA H100-class memory system the paper describes:
+// 256 KB L1 per CU and 50 MB L2 (quartered), HBM2e-class bandwidth.
+func H100GPM() GPM {
+	g := MI100GPM()
+	g.L1VCache = cache.Config{SizeBytes: 256 << 10, Ways: 8, MSHRs: 32, Latency: 1}
+	g.L2Cache = cache.Config{SizeBytes: 12 << 20, Ways: 16, MSHRs: 128, Latency: 8}
+	g.HBM.BytesPerCycle = 2000
+	return g
+}
+
+// H200GPM is H100 with HBM3 bandwidth.
+func H200GPM() GPM {
+	g := H100GPM()
+	g.HBM.BytesPerCycle = 4800 // 4.8 TB/s
+	return g
+}
+
+// GPMVariant resolves a GPU generation by name.
+func GPMVariant(name string) (GPM, error) {
+	switch name {
+	case "mi100", "MI100":
+		return MI100GPM(), nil
+	case "mi200", "MI200":
+		return MI200GPM(), nil
+	case "mi300", "MI300":
+		return MI300GPM(), nil
+	case "h100", "H100":
+		return H100GPM(), nil
+	case "h200", "H200":
+		return H200GPM(), nil
+	}
+	return GPM{}, fmt.Errorf("config: unknown GPU variant %q", name)
+}
+
+// GPMVariantNames lists the Fig 21 configurations in paper order.
+func GPMVariantNames() []string { return []string{"MI100", "MI200", "MI300", "H100", "H200"} }
+
+// IdealLatencyIOMMU is the Fig 2 idealisation with 1-cycle walks.
+func IdealLatencyIOMMU() IOMMU {
+	c := DefaultIOMMU()
+	c.WalkCycles = 1
+	return c
+}
+
+// IdealParallelIOMMU is the Fig 2 idealisation with 4096 walkers.
+func IdealParallelIOMMU() IOMMU {
+	c := DefaultIOMMU()
+	c.Walkers = 4096
+	return c
+}
+
+// MCM4 returns a 4-GPM Multi-Chip-Module configuration (Fig 4's
+// comparison point): a 1x5 strip with the CPU in the middle.
+func MCM4() System {
+	c := Default()
+	c.Name = "mcm-4gpm"
+	c.MeshW = 5
+	c.MeshH = 3
+	// A 5x3 mesh has 14 GPMs; the paper's MCM has 4. We approximate with
+	// the smallest supported mesh (3x3, 8 GPMs) when strict GPM count
+	// matters; Fig 4's point is the queue-depth contrast, which survives.
+	c.MeshW, c.MeshH = 3, 3
+	c.HDPAT.Layers = 1
+	return c
+}
+
+// Wafer7x12 returns the enlarged wafer of Fig 22.
+func Wafer7x12() System {
+	c := Default()
+	c.Name = "mi100-7x12"
+	c.MeshW, c.MeshH = 7, 12
+	return c
+}
+
+// ApplyScale returns a copy with capacity structures divided by
+// WorkloadScale. Scaling footprints down without scaling the caches that
+// filter them would distort every miss ratio the paper's observations rest
+// on (O3's re-translation traffic exists because footprints exceed TLB
+// reach); dividing both keeps each benchmark's footprint:capacity ratio at
+// its Table II value. Latencies, parallelism (walkers, MSHRs) and the
+// PW-queue bound are not scaled: they are rates, not capacities.
+// wafer.Run applies this automatically before building the system.
+func (s System) ApplyScale() System {
+	f := s.WorkloadScale
+	if f <= 1 {
+		return s
+	}
+	div := func(v int, min int) int {
+		v /= f
+		if v < min {
+			v = min
+		}
+		return v
+	}
+	s.GPM.L2TLB.Sets = div(s.GPM.L2TLB.Sets, 1)
+	s.GPM.GMMUCache.Sets = div(s.GPM.GMMUCache.Sets, 1)
+	s.GPM.AuxTLB.Sets = div(s.GPM.AuxTLB.Sets, 1)
+	s.GPM.L2Cache.SizeBytes = div(s.GPM.L2Cache.SizeBytes, 64*s.GPM.L2Cache.Ways)
+	if s.IOMMU.RedirectEntries > 0 {
+		s.IOMMU.RedirectEntries = div(s.IOMMU.RedirectEntries, 16)
+	}
+	s.IOMMU.TLBSets = div(s.IOMMU.TLBSets, 1)
+	return s
+}
+
+// Validate sanity-checks a configuration.
+func (s System) Validate() error {
+	if s.MeshW < 3 || s.MeshH < 3 {
+		return fmt.Errorf("config: mesh %dx%d too small", s.MeshW, s.MeshH)
+	}
+	if s.GPM.NumCUs <= 0 || s.GPM.GMMUWalkers <= 0 {
+		return fmt.Errorf("config: GPM must have CUs and walkers")
+	}
+	if s.IOMMU.Walkers <= 0 || s.IOMMU.PWQueueCap <= 0 {
+		return fmt.Errorf("config: IOMMU must have walkers and queue capacity")
+	}
+	if s.HDPAT.Layers < 0 || s.HDPAT.Clusters < 1 {
+		return fmt.Errorf("config: invalid HDPAT layers/clusters")
+	}
+	if s.PageSize < 1<<12 || uint64(s.PageSize)&(uint64(s.PageSize)-1) != 0 {
+		return fmt.Errorf("config: page size %d not a power-of-two >= 4K", s.PageSize)
+	}
+	if s.WorkloadScale < 1 {
+		return fmt.Errorf("config: workload scale must be >= 1")
+	}
+	return nil
+}

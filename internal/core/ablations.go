@@ -1,0 +1,260 @@
+package core
+
+import (
+	"hdpat/internal/config"
+	"hdpat/internal/geom"
+	"hdpat/internal/sim"
+	"hdpat/internal/vm"
+	"hdpat/internal/xlat"
+)
+
+// Route is the route-based caching ablation (§IV-B): the request hops
+// toward the CPU along its XY path, each intermediate GPM attempting the
+// translation from its auxiliary store; on the eventual IOMMU response the
+// path GPMs cache the PTE. Its two documented weaknesses — up to five
+// attempts of added latency and unbounded PTE duplication — emerge directly.
+type Route struct {
+	f   *Fabric
+	lat config.HDPAT // AuxProbeLatency governs per-hop attempt cost
+
+	Attempts uint64
+	Hits     uint64
+}
+
+// NewRoute builds the route-based ablation.
+func NewRoute(f *Fabric, cfg config.HDPAT) *Route { return &Route{f: f, lat: cfg} }
+
+// Name implements xlat.RemoteTranslator.
+func (s *Route) Name() string { return "route" }
+
+// Translate implements xlat.RemoteTranslator.
+func (s *Route) Translate(req *xlat.Request) {
+	src := s.f.CoordOf(req.Requester)
+	path := s.f.Layout.XYPath(src, s.f.Layout.CPU)
+	s.step(req, src, path, 0)
+}
+
+func (s *Route) step(req *xlat.Request, cur geom.Coord, path []geom.Coord, i int) {
+	next := path[i]
+	s.f.Mesh.Send(cur, next, xlat.ReqBytes, func() {
+		if next == s.f.Layout.CPU {
+			s.f.IOMMU.Submit(req, false)
+			// On response, fill the path caches (return-path installs).
+			s.fillOnReturn(req, path)
+			return
+		}
+		g := s.f.At(next)
+		s.Attempts++
+		g.ProbeAux(keyOf(req), s.lat.AuxProbeLatency, func(pte vm.PTE, _ xlat.PushOrigin, ok bool) {
+			if ok {
+				s.Hits++
+				s.f.Respond(next, req, xlat.Result{PTE: pte, Source: xlat.SourceRoute})
+				return
+			}
+			s.step(req, next, path, i+1)
+		})
+	})
+}
+
+// fillOnReturn installs the translation into every GPM on the path once the
+// IOMMU answers: the response passes each tile on its way back, so each
+// path GPM receives the PTE after its hop distance from the CPU. The
+// request carries no shadow callback, so completion is observed by polling
+// the (monotonic) completed flag at hop granularity.
+func (s *Route) fillOnReturn(req *xlat.Request, path []geom.Coord) {
+	hop := s.f.Mesh.Config().HopLatency
+	var poll func()
+	poll = func() {
+		if !req.Completed() {
+			s.f.Eng.Schedule(hop, poll)
+			return
+		}
+		e, _, ok := s.f.Placement.Global().Lookup(req.VPN)
+		if !ok {
+			return
+		}
+		for i, c := range path {
+			if c == s.f.Layout.CPU {
+				continue
+			}
+			g := s.f.At(c)
+			delay := hop * sim.VTime(len(path)-1-i)
+			s.f.Eng.Schedule(delay, func() { g.CacheOnPath(e) })
+		}
+	}
+	s.f.Eng.Schedule(hop, poll)
+}
+
+// Concentric is the concentric-caching ablation (§IV-C): one attempt per
+// concentric layer — at the layer GPM nearest to the requester — forwarding
+// inward on a miss, with no clustering: every layer GPM caches everything it
+// serves, so duplication within a layer is unbounded.
+type Concentric struct {
+	f      *Fabric
+	cfg    config.HDPAT
+	layers *geom.Layers
+
+	Attempts uint64
+	Hits     uint64
+}
+
+// NewConcentric builds the concentric-only ablation.
+func NewConcentric(f *Fabric, cfg config.HDPAT) *Concentric {
+	return &Concentric{f: f, cfg: cfg, layers: geom.NewLayers(f.Layout, cfg.Layers, cfg.Clusters)}
+}
+
+// Name implements xlat.RemoteTranslator.
+func (s *Concentric) Name() string { return "concentric" }
+
+// nearestInLayer returns the layer-l tile closest (Manhattan) to c.
+func (s *Concentric) nearestInLayer(l int, c geom.Coord) geom.Coord {
+	best := s.layers.LayerTiles(l)[0]
+	bd := c.Manhattan(best)
+	for _, t := range s.layers.LayerTiles(l)[1:] {
+		if d := c.Manhattan(t); d < bd {
+			best, bd = t, d
+		}
+	}
+	return best
+}
+
+// Translate implements xlat.RemoteTranslator.
+func (s *Concentric) Translate(req *xlat.Request) {
+	n := s.layers.NumLayers()
+	if n == 0 {
+		s.f.ToIOMMU(s.f.CoordOf(req.Requester), req, false)
+		return
+	}
+	s.attempt(req, s.f.CoordOf(req.Requester), n-1)
+}
+
+func (s *Concentric) attempt(req *xlat.Request, from geom.Coord, l int) {
+	target := s.nearestInLayer(l, from)
+	g := s.f.At(target)
+	s.f.Mesh.Send(from, target, xlat.ReqBytes, func() {
+		s.Attempts++
+		g.ProbeAux(keyOf(req), s.cfg.AuxProbeLatency, func(pte vm.PTE, _ xlat.PushOrigin, ok bool) {
+			if ok {
+				s.Hits++
+				s.f.Respond(target, req, xlat.Result{PTE: pte, Source: xlat.SourcePeer})
+				return
+			}
+			if l > 0 {
+				s.attempt(req, target, l-1)
+				return
+			}
+			s.f.Mesh.Send(target, s.f.Layout.CPU, xlat.ReqBytes, func() {
+				s.f.IOMMU.Submit(req, false)
+			})
+			// The attempting GPMs cache the eventual translation
+			// (unclustered: every server duplicates).
+			s.fillLater(g, req)
+		})
+	})
+}
+
+func (s *Concentric) fillLater(g gpmInstaller, req *xlat.Request) {
+	hop := s.f.Mesh.Config().HopLatency
+	var poll func()
+	poll = func() {
+		if !req.Completed() {
+			s.f.Eng.Schedule(hop, poll)
+			return
+		}
+		if e, _, ok := s.f.Placement.Global().Lookup(req.VPN); ok {
+			g.CacheOnPath(e)
+		}
+	}
+	s.f.Eng.Schedule(hop, poll)
+}
+
+type gpmInstaller interface{ CacheOnPath(vm.PTE) }
+
+// Distributed is the straightforward distributed-caching baseline of §V-A:
+// the caching GPMs are split into two symmetric groups either side of the
+// CPU; a requester probes its group's nearest member, then goes straight to
+// the IOMMU — no cross-group lookup, rotation, or redirection.
+type Distributed struct {
+	f   *Fabric
+	cfg config.HDPAT
+	// groupPeer[id] is the designated cache peer of GPM id.
+	groupPeer []int
+
+	Probes uint64
+	Hits   uint64
+}
+
+// NewDistributed builds the distributed-caching baseline. It uses the same
+// number of caching GPMs as the concentric setup (the tiles of the C rings)
+// split into west/east groups by X coordinate relative to the CPU.
+func NewDistributed(f *Fabric, cfg config.HDPAT) *Distributed {
+	layers := geom.NewLayers(f.Layout, cfg.Layers, cfg.Clusters)
+	var west, east []geom.Coord
+	for l := 0; l < layers.NumLayers(); l++ {
+		for _, t := range layers.LayerTiles(l) {
+			if t.X <= f.Layout.CPU.X {
+				west = append(west, t)
+			} else {
+				east = append(east, t)
+			}
+		}
+	}
+	s := &Distributed{f: f, cfg: cfg, groupPeer: make([]int, len(f.GPMs))}
+	for _, g := range f.GPMs {
+		group := west
+		if g.Coord.X > f.Layout.CPU.X {
+			group = east
+		}
+		if len(group) == 0 {
+			group = append(west, east...)
+		}
+		best, bd := group[0], g.Coord.Manhattan(group[0])
+		for _, t := range group[1:] {
+			// A GPM may be its own nearest peer if it is a caching tile.
+			if d := g.Coord.Manhattan(t); d < bd {
+				best, bd = t, d
+			}
+		}
+		s.groupPeer[g.ID] = f.At(best).ID
+	}
+	return s
+}
+
+// Name implements xlat.RemoteTranslator.
+func (s *Distributed) Name() string { return "distributed" }
+
+// Translate implements xlat.RemoteTranslator.
+func (s *Distributed) Translate(req *xlat.Request) {
+	peer := s.f.GPMs[s.groupPeer[req.Requester]]
+	from := s.f.CoordOf(req.Requester)
+	s.Probes++
+	s.f.Mesh.Send(from, peer.Coord, xlat.ReqBytes, func() {
+		peer.ProbeAux(keyOf(req), s.cfg.AuxProbeLatency, func(pte vm.PTE, _ xlat.PushOrigin, ok bool) {
+			if ok {
+				s.Hits++
+				s.f.Respond(peer.Coord, req, xlat.Result{PTE: pte, Source: xlat.SourcePeer})
+				return
+			}
+			s.f.Mesh.Send(peer.Coord, s.f.Layout.CPU, xlat.ReqBytes, func() {
+				s.f.IOMMU.Submit(req, false)
+			})
+			// The peer caches the eventual translation for its group.
+			s.fill(peer, req)
+		})
+	})
+}
+
+func (s *Distributed) fill(peer gpmInstaller, req *xlat.Request) {
+	hop := s.f.Mesh.Config().HopLatency
+	var poll func()
+	poll = func() {
+		if !req.Completed() {
+			s.f.Eng.Schedule(hop, poll)
+			return
+		}
+		if e, _, ok := s.f.Placement.Global().Lookup(req.VPN); ok {
+			peer.CacheOnPath(e)
+		}
+	}
+	s.f.Eng.Schedule(hop, poll)
+}

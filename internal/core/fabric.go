@@ -1,0 +1,97 @@
+// Package core implements the paper's contribution: the HDPAT translation
+// scheme — concentric auxiliary caching with quadrant clustering and
+// rotation (§IV-C/D/E), wired to the IOMMU's redirection table and
+// proactive delivery (§IV-F/G) — together with the weaker peer-caching
+// designs the ablation study walks through (route-based, concentric-only,
+// and the distributed-caching baseline of §V-A).
+package core
+
+import (
+	"hdpat/internal/geom"
+	"hdpat/internal/gpm"
+	"hdpat/internal/iommu"
+	"hdpat/internal/noc"
+	"hdpat/internal/sim"
+	"hdpat/internal/tlb"
+	"hdpat/internal/vm"
+	"hdpat/internal/xlat"
+)
+
+// Fabric bundles the assembled wafer hardware a scheme operates over.
+type Fabric struct {
+	Eng    *sim.Engine
+	Mesh   *noc.Mesh
+	Layout *geom.Layout
+	GPMs   []*gpm.GPM // indexed by GPM id
+	IOMMU  *iommu.IOMMU
+	// Placement provides owner arithmetic (Trans-FW needs OwnerOf).
+	Placement *vm.Placement
+
+	byCoord map[geom.Coord]*gpm.GPM
+}
+
+// Finish completes Fabric construction after GPMs are populated.
+func (f *Fabric) Finish() {
+	f.byCoord = make(map[geom.Coord]*gpm.GPM, len(f.GPMs))
+	for _, g := range f.GPMs {
+		f.byCoord[g.Coord] = g
+	}
+}
+
+// At returns the GPM on a tile (nil for the CPU tile).
+func (f *Fabric) At(c geom.Coord) *gpm.GPM { return f.byCoord[c] }
+
+// CoordOf returns GPM id's tile.
+func (f *Fabric) CoordOf(id int) geom.Coord { return f.GPMs[id].Coord }
+
+// ToIOMMU routes a request from its requester to the CPU tile and submits it.
+func (f *Fabric) ToIOMMU(from geom.Coord, req *xlat.Request, noRedirect bool) {
+	f.Mesh.Send(from, f.Layout.CPU, xlat.ReqBytes, func() {
+		f.IOMMU.Submit(req, noRedirect)
+	})
+}
+
+// Respond carries a translation result from a serving tile back to the
+// requester and completes the request there.
+func (f *Fabric) Respond(from geom.Coord, req *xlat.Request, res xlat.Result) {
+	f.Mesh.Send(from, f.CoordOf(req.Requester), xlat.RespBytes, func() {
+		req.Complete(res)
+	})
+}
+
+// keyOf builds the TLB key of a request.
+func keyOf(req *xlat.Request) tlb.Key { return tlb.Key{PID: req.PID, VPN: req.VPN} }
+
+// Shootdown performs a wafer-wide TLB shootdown for the given pages: the
+// IOMMU purges its redirection table and counters, then broadcasts an
+// invalidation to every GPM over the mesh; each GPM invalidates its TLB
+// hierarchy and auxiliary cache and acknowledges. done fires when the last
+// acknowledgement arrives back at the CPU tile, receiving the total number
+// of cached entries dropped. The paper needs this only when freeing memory
+// (§II-A); the page-migration extension issues one per migrated page.
+func (f *Fabric) Shootdown(pid vm.PID, vpns []vm.VPN, done func(dropped int)) {
+	keys := make([]tlb.Key, len(vpns))
+	for i, v := range vpns {
+		keys[i] = tlb.Key{PID: pid, VPN: v}
+	}
+	f.IOMMU.Invalidate(keys)
+	// One invalidation message per GPM, sized by the key list.
+	msgBytes := 16 + 8*len(keys)
+	pending := len(f.GPMs)
+	dropped := 0
+	cpu := f.Layout.CPU
+	for _, g := range f.GPMs {
+		g := g
+		f.Mesh.Send(cpu, g.Coord, msgBytes, func() {
+			f.Eng.Schedule(gpm.ShootdownLatency(len(keys)), func() {
+				dropped += g.Shootdown(keys)
+				f.Mesh.Send(g.Coord, cpu, 8, func() {
+					pending--
+					if pending == 0 && done != nil {
+						done(dropped)
+					}
+				})
+			})
+		})
+	}
+}

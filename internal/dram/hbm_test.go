@@ -1,0 +1,49 @@
+package dram
+
+import (
+	"testing"
+
+	"hdpat/internal/sim"
+)
+
+func TestAccessLatency(t *testing.T) {
+	h := New(Config{AccessLatency: 100, BytesPerCycle: 1230})
+	done := h.Access(0, 64)
+	// 64 B < 1230 B/cycle: no whole-cycle occupancy yet, just latency.
+	if done != 100 {
+		t.Errorf("done = %d, want 100", done)
+	}
+}
+
+func TestBandwidthAccumulates(t *testing.T) {
+	h := New(Config{AccessLatency: 10, BytesPerCycle: 64})
+	// Each 64 B access occupies exactly one cycle of the line.
+	d1 := h.Access(0, 64)
+	d2 := h.Access(0, 64)
+	d3 := h.Access(0, 64)
+	if d1 != 11 || d2 != 12 || d3 != 13 {
+		t.Errorf("completions = %d,%d,%d; want 11,12,13", d1, d2, d3)
+	}
+}
+
+func TestSmallTransfersChargeInAggregate(t *testing.T) {
+	h := New(Config{AccessLatency: 0, BytesPerCycle: 128})
+	// 4 x 64 B = 2 cycles of occupancy in total.
+	var last sim.VTime
+	for i := 0; i < 4; i++ {
+		last = h.Access(0, 64)
+	}
+	if last != 2 {
+		t.Errorf("final completion = %d, want 2", last)
+	}
+	if h.BytesMoved != 256 || h.Reads != 4 {
+		t.Errorf("stats: bytes=%d reads=%d", h.BytesMoved, h.Reads)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig()
+	if c.AccessLatency != 100 || c.BytesPerCycle != 1230 {
+		t.Errorf("unexpected default %+v", c)
+	}
+}

@@ -1,0 +1,108 @@
+package gpm
+
+import (
+	"hdpat/internal/sim"
+	"hdpat/internal/vm"
+)
+
+// cuState is the issue engine of one compute unit: it walks its address
+// trace with bounded memory-level parallelism (cfg.MLP outstanding ops) and
+// a fixed issue gap modelling the kernel's compute intensity.
+type cuState struct {
+	trace    []vm.VAddr
+	next     int
+	inflight int
+	stalled  bool // true when issue is waiting for an op to retire
+	armed    bool // an issue event is scheduled
+}
+
+// LoadTrace assigns the address trace CU cu will execute.
+func (g *GPM) LoadTrace(cu int, trace []vm.VAddr) {
+	for len(g.cus) < g.cfg.NumCUs {
+		g.cus = append(g.cus, cuState{})
+	}
+	g.cus[cu].trace = trace
+}
+
+// Start launches all CUs. gap is the per-CU issue interval in cycles;
+// onFinish fires once, when the last op of the last CU completes. A GPM
+// whose CUs all have empty traces finishes immediately.
+func (g *GPM) Start(gap sim.VTime, onFinish func(id int, at sim.VTime)) {
+	if gap < 1 {
+		gap = 1
+	}
+	g.gap = gap
+	g.onFinish = onFinish
+	for len(g.cus) < g.cfg.NumCUs {
+		g.cus = append(g.cus, cuState{})
+	}
+	g.running = 0
+	for i := range g.cus {
+		if len(g.cus[i].trace) > 0 {
+			g.running++
+		}
+	}
+	if g.running == 0 {
+		fin := g.onFinish
+		g.eng.Schedule(0, func() { fin(g.ID, g.eng.Now()) })
+		return
+	}
+	for i := range g.cus {
+		if len(g.cus[i].trace) > 0 {
+			cu := i
+			// Stagger CU start cycles slightly to avoid artificial lockstep.
+			g.cus[i].armed = true
+			g.eng.Schedule(sim.VTime(i%8), func() { g.issue(cu) })
+		}
+	}
+}
+
+func (g *GPM) issue(cu int) {
+	c := &g.cus[cu]
+	c.armed = false
+	if c.next >= len(c.trace) {
+		return
+	}
+	if c.inflight >= g.cfg.MLP {
+		c.stalled = true
+		return
+	}
+	va := c.trace[c.next]
+	c.next++
+	c.inflight++
+	g.Stats.OpsIssued++
+	g.Translate(cu, va, func(pte vm.PTE) {
+		g.Access(cu, va, pte, func() { g.opDone(cu) })
+	})
+	if c.next < len(c.trace) {
+		c.armed = true
+		g.eng.Schedule(g.gap, func() { g.issue(cu) })
+	}
+}
+
+func (g *GPM) opDone(cu int) {
+	c := &g.cus[cu]
+	c.inflight--
+	g.Stats.OpsCompleted++
+	if c.stalled && !c.armed {
+		c.stalled = false
+		c.armed = true
+		g.eng.Schedule(0, func() { g.issue(cu) })
+	}
+	if c.next >= len(c.trace) && c.inflight == 0 {
+		g.running--
+		if g.running == 0 {
+			g.Stats.FinishTime = g.eng.Now()
+			g.onFinish(g.ID, g.eng.Now())
+		}
+	}
+}
+
+// Outstanding reports total in-flight ops across CUs (for tests).
+func (g *GPM) Outstanding() int {
+	n := 0
+	for i := range g.cus {
+		n += g.cus[i].inflight
+	}
+	return n
+}

@@ -1,0 +1,83 @@
+package gpm
+
+import (
+	"hdpat/internal/cache"
+	"hdpat/internal/vm"
+)
+
+// Access performs the data access for a translated address: per-CU L1,
+// shared L2, then local HBM or a remote fetch from the owner GPM at
+// cacheline granularity (§II-A zero-copy). done fires when the data is
+// available to the CU.
+func (g *GPM) Access(cu int, va vm.VAddr, pte vm.PTE, done func()) {
+	pa := g.ps.Translate(va, pte.PFN)
+	line := cache.LineOf(pa)
+	l1 := g.l1Caches[cu]
+	g.eng.Schedule(l1.Latency(), func() {
+		if l1.Lookup(line) {
+			done()
+			return
+		}
+		g.accessL2(cu, line, pte.Owner, done)
+	})
+}
+
+func (g *GPM) accessL2(cu int, line uint64, owner int, done func()) {
+	g.eng.Schedule(g.l2Cache.Latency(), func() { g.tryAccessL2(cu, line, owner, done) })
+}
+
+// tryAccessL2 is the post-latency L2 access body. It runs synchronously so
+// the MSHR drain loop in fillL2 can observe register consumption between
+// waiters.
+func (g *GPM) tryAccessL2(cu int, line uint64, owner int, done func()) {
+	l1 := g.l1Caches[cu]
+	if g.l2Cache.Lookup(line) {
+		l1.Insert(line)
+		done()
+		return
+	}
+	fill := func() {
+		l1.Insert(line)
+		done()
+	}
+	primary, ok := g.l2Cache.MissTrack(line, fill)
+	if !ok {
+		// L2 MSHRs exhausted: stall at the L2 boundary; resume when a
+		// register frees.
+		g.Stats.MSHRRetries++
+		g.l2DataWait = append(g.l2DataWait, func() { g.tryAccessL2(cu, line, owner, done) })
+		return
+	}
+	if !primary {
+		return
+	}
+	if owner == g.ID {
+		g.Stats.LocalAccesses++
+		doneAt := g.hbm.Access(g.eng.Now(), cache.LineSize)
+		g.eng.At(doneAt, func() { g.fillL2(line) })
+		return
+	}
+	g.Stats.RemoteAccesses++
+	g.FetchRemote(owner, line, func() { g.fillL2(line) })
+}
+
+// fillL2 completes an outstanding L2 data miss, then drains stalled accesses
+// while MSHR registers remain free. Waiters that hit the freshly filled line
+// or merge into another register do not consume a register, so the loop
+// keeps waking until one allocates or the queue empties — this is what
+// prevents stranding when the last outstanding miss completes.
+func (g *GPM) fillL2(line uint64) {
+	g.l2Cache.Fill(line)
+	for len(g.l2DataWait) > 0 && g.l2Cache.OutstandingMisses() < g.cfg.L2Cache.MSHRs {
+		w := g.l2DataWait[0]
+		g.l2DataWait = g.l2DataWait[1:]
+		w()
+	}
+}
+
+// ServeLine services a remote cacheline fetch against this GPM's HBM; the
+// system's fetch path routes requests here and carries the response back.
+func (g *GPM) ServeLine(line uint64, done func()) {
+	doneAt := g.hbm.Access(g.eng.Now(), cache.LineSize)
+	g.eng.At(doneAt, done)
+}

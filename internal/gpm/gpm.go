@@ -1,0 +1,313 @@
+// Package gpm models one GPU Processing Module: 32 compute units issuing
+// memory operations through the Table I translation hierarchy (per-CU L1
+// TLB → shared L2 TLB → cuckoo filter → last-level TLB → GMMU walkers over
+// the local page table) and data hierarchy (per-CU L1 → shared L2 → local
+// HBM or remote memory over the mesh). Remote translations are delegated to
+// the active xlat.RemoteTranslator scheme; peer-facing services (auxiliary
+// cache probes, local walks for Trans-FW, L2 TLB probes for Valkyrie) are
+// exposed as methods with modelled port contention.
+package gpm
+
+import (
+	"hdpat/internal/cache"
+	"hdpat/internal/config"
+	"hdpat/internal/cuckoo"
+	"hdpat/internal/dram"
+	"hdpat/internal/geom"
+	"hdpat/internal/sim"
+	"hdpat/internal/tlb"
+	"hdpat/internal/vm"
+	"hdpat/internal/xlat"
+)
+
+// Stats aggregates one GPM's activity.
+type Stats struct {
+	OpsIssued    uint64
+	OpsCompleted uint64
+
+	L1TLBHits      uint64
+	L2TLBHits      uint64
+	FilterNegative uint64
+	FilterPositive uint64
+	FalsePositives uint64 // filter said local, GMMU walk found nothing
+	LLTLBHits      uint64
+	LocalWalks     uint64
+
+	RemoteRequests uint64
+	RemoteBySource [xlat.NumSources]uint64
+	// RemoteLatencySum accumulates remote translation round-trip cycles
+	// (request issue at the GMMU boundary to completion), for Fig 17.
+	RemoteLatencySum uint64
+
+	ProbesServed uint64
+	ProbeHits    uint64
+
+	LocalAccesses  uint64
+	RemoteAccesses uint64
+
+	// FinishTime is when the last op completed (Fig 5).
+	FinishTime sim.VTime
+
+	MSHRRetries uint64
+}
+
+// GPM is one GPU processing module on the wafer.
+type GPM struct {
+	ID    int
+	Coord geom.Coord
+
+	eng *sim.Engine
+	cfg config.GPM
+	ps  vm.PageSize
+
+	// Translation hierarchy.
+	l1TLBs  []*tlb.TLB
+	l2TLB   *tlb.TLB
+	l2MSHR  *tlb.MSHR
+	filter  *cuckoo.Filter
+	llTLB   *tlb.TLB
+	aux     *AuxCache
+	localPT *vm.PageTable
+	walkers *sim.Pool
+
+	// probePort serialises peer-facing translation services; local
+	// translations have priority in the paper's model, approximated here by
+	// the port charging only peer traffic.
+	probePort sim.Line
+
+	// Data hierarchy.
+	l1Caches []*cache.Cache
+	l2Cache  *cache.Cache
+	hbm      *dram.HBM
+
+	// Remote is the active translation scheme (set by the system builder).
+	Remote xlat.RemoteTranslator
+	// FetchRemote retrieves a cacheline from the owner GPM's memory.
+	FetchRemote func(owner int, line uint64, done func())
+	// NextReqID allocates wafer-unique translation request ids.
+	NextReqID func() uint64
+
+	cus      []cuState
+	gap      sim.VTime
+	onFinish func(id int, at sim.VTime)
+	running  int // CUs still working
+
+	// l2TLBWait queues translation misses stalled on a full L2 TLB MSHR
+	// file; they resume as registers free (no polling).
+	l2TLBWait []func()
+	// l2DataWait queues data misses stalled on full L2 cache MSHRs.
+	l2DataWait []func()
+
+	Stats Stats
+}
+
+// New builds a GPM with the given configuration. The local page table must
+// already be populated by the placement layer.
+func New(eng *sim.Engine, id int, coord geom.Coord, cfg config.GPM, ps vm.PageSize, localPT *vm.PageTable) *GPM {
+	g := &GPM{
+		ID: id, Coord: coord, eng: eng, cfg: cfg, ps: ps,
+		l2TLB:   tlb.New(cfg.L2TLB),
+		l2MSHR:  tlb.NewMSHR(cfg.L2TLB.MSHRs),
+		llTLB:   tlb.New(cfg.GMMUCache),
+		aux:     NewAuxCache(cfg.AuxTLB),
+		localPT: localPT,
+		walkers: sim.NewPool(cfg.GMMUWalkers),
+		l2Cache: cache.New(cfg.L2Cache),
+		hbm:     dram.New(cfg.HBM),
+	}
+	g.filter = cuckoo.New(localPT.Len()*2 + 64)
+	for i := 0; i < cfg.NumCUs; i++ {
+		g.l1TLBs = append(g.l1TLBs, tlb.New(cfg.L1TLB))
+		g.l1Caches = append(g.l1Caches, cache.New(cfg.L1VCache))
+	}
+	return g
+}
+
+// ReseedFilter inserts the VPNs of all locally mapped pages into the cuckoo
+// filter, as the GMMU does when the driver installs the local page table.
+// The page table itself has no iterator by design (hardware walks it, it
+// does not enumerate), so the system builder calls this per region chunk
+// after allocation.
+func (g *GPM) ReseedFilter(pid vm.PID, vpns []vm.VPN) {
+	for _, v := range vpns {
+		g.filter.Insert(filterKey(tlb.Key{PID: pid, VPN: v}))
+	}
+}
+
+// Aux exposes the auxiliary cache to schemes.
+func (g *GPM) Aux() *AuxCache { return g.aux }
+
+// Engine returns the shared simulation engine.
+func (g *GPM) Engine() *sim.Engine { return g.eng }
+
+// PageSize returns the system page size.
+func (g *GPM) PageSize() vm.PageSize { return g.ps }
+
+// Translate resolves va for the given CU, invoking done with the PTE.
+func (g *GPM) Translate(cu int, va vm.VAddr, done func(vm.PTE)) {
+	k := tlb.Key{PID: 0, VPN: g.ps.VPNOf(va)}
+	l1 := g.l1TLBs[cu]
+	g.eng.Schedule(l1.Latency(), func() {
+		if pte, ok := l1.Lookup(k); ok {
+			g.Stats.L1TLBHits++
+			done(pte)
+			return
+		}
+		g.translateL2(cu, k, done)
+	})
+}
+
+func (g *GPM) translateL2(cu int, k tlb.Key, done func(vm.PTE)) {
+	fill := func(pte vm.PTE, _ bool) {
+		g.l1TLBs[cu].Insert(pte)
+		done(pte)
+	}
+	primary, ok := g.l2MSHR.Allocate(k, fill)
+	if !ok {
+		// MSHR file full: the request stalls at the L2 TLB boundary and
+		// resumes when a register frees.
+		g.Stats.MSHRRetries++
+		g.l2TLBWait = append(g.l2TLBWait, func() { g.translateL2(cu, k, done) })
+		return
+	}
+	if !primary {
+		return // coalesced into an earlier miss
+	}
+	g.eng.Schedule(g.l2TLB.Latency(), func() {
+		if pte, ok := g.l2TLB.Lookup(k); ok {
+			g.Stats.L2TLBHits++
+			g.completeL2(k, pte)
+			return
+		}
+		g.checkFilter(k)
+	})
+}
+
+// completeL2 resolves an outstanding L2 TLB miss and wakes one stalled
+// request per freed MSHR register.
+func (g *GPM) completeL2(k tlb.Key, pte vm.PTE) {
+	g.l2MSHR.Complete(k, pte, true)
+	if len(g.l2TLBWait) > 0 {
+		w := g.l2TLBWait[0]
+		g.l2TLBWait = g.l2TLBWait[1:]
+		g.eng.Schedule(1, w)
+	}
+}
+
+// checkFilter consults the cuckoo filter (§II-B): negative answers bypass
+// the whole local path; positives proceed through LLTLB and GMMU, with
+// false positives paying the doubled-latency penalty before going remote.
+func (g *GPM) checkFilter(k tlb.Key) {
+	g.eng.Schedule(g.cfg.CuckooLatency, func() {
+		if !g.filter.Contains(filterKey(k)) {
+			g.Stats.FilterNegative++
+			g.goRemote(k)
+			return
+		}
+		g.Stats.FilterPositive++
+		g.eng.Schedule(g.llTLB.Latency(), func() {
+			if pte, ok := g.llTLB.Lookup(k); ok {
+				g.Stats.LLTLBHits++
+				g.finishLocal(k, pte)
+				return
+			}
+			g.walkLocal(k, func(pte vm.PTE, found bool) {
+				if found {
+					g.llTLB.Insert(pte)
+					g.finishLocal(k, pte)
+					return
+				}
+				g.Stats.FalsePositives++
+				g.goRemote(k)
+			})
+		})
+	})
+}
+
+func (g *GPM) finishLocal(k tlb.Key, pte vm.PTE) {
+	g.l2TLB.Insert(pte)
+	g.completeL2(k, pte)
+}
+
+// walkLocal performs a GMMU page table walk over the local table, modelling
+// walker pool contention. It is also the service Trans-FW requests remotely.
+func (g *GPM) walkLocal(k tlb.Key, done func(vm.PTE, bool)) {
+	g.Stats.LocalWalks++
+	start := g.walkers.Acquire(g.eng.Now(), g.cfg.WalkCycles)
+	g.eng.At(start+g.cfg.WalkCycles, func() {
+		pte, _, found := g.localPT.Lookup(k.VPN)
+		done(pte, found)
+	})
+}
+
+// goRemote hands the translation to the active scheme.
+func (g *GPM) goRemote(k tlb.Key) {
+	g.Stats.RemoteRequests++
+	issued := g.eng.Now()
+	req := xlat.NewRequest(g.NextReqID(), k.PID, k.VPN, g.ID, issued, func(res xlat.Result) {
+		g.Stats.RemoteBySource[res.Source]++
+		g.Stats.RemoteLatencySum += uint64(g.eng.Now() - issued)
+		g.l2TLB.Insert(res.PTE)
+		g.completeL2(k, res.PTE)
+	})
+	g.Remote.Translate(req)
+}
+
+// --- Peer-facing services -------------------------------------------------
+
+// ProbeAux services a peer's concentric-layer probe: the probe occupies the
+// GPM's translation port, checks the aux cuckoo filter and, if it might hit,
+// performs the aux lookup. done reports the PTE, its push origin, and
+// whether it hit.
+func (g *GPM) ProbeAux(k tlb.Key, latency sim.VTime, done func(vm.PTE, xlat.PushOrigin, bool)) {
+	g.Stats.ProbesServed++
+	_, end := g.probePort.Occupy(g.eng.Now(), latency)
+	g.eng.At(end, func() {
+		if !g.aux.MightHave(k) {
+			done(vm.PTE{}, 0, false)
+			return
+		}
+		pte, origin, ok := g.aux.Probe(k)
+		if ok {
+			g.Stats.ProbeHits++
+		}
+		done(pte, origin, ok)
+	})
+}
+
+// ProbeL2TLB services a Valkyrie-style neighbour probe of the shared L2 TLB.
+func (g *GPM) ProbeL2TLB(k tlb.Key, done func(vm.PTE, bool)) {
+	g.Stats.ProbesServed++
+	_, end := g.probePort.Occupy(g.eng.Now(), g.l2TLB.Latency())
+	g.eng.At(end, func() {
+		pte, ok := g.l2TLB.Peek(k)
+		if ok {
+			g.Stats.ProbeHits++
+		}
+		done(pte, ok)
+	})
+}
+
+// WalkForPeer services a Trans-FW remote walk against this GPM's local page
+// table, sharing the GMMU walker pool with local translations.
+func (g *GPM) WalkForPeer(k tlb.Key, done func(vm.PTE, bool)) {
+	g.walkLocal(k, done)
+}
+
+// InstallAux accepts a pushed PTE into the auxiliary cache.
+func (g *GPM) InstallAux(pte vm.PTE, origin xlat.PushOrigin) {
+	g.aux.Install(pte, origin)
+}
+
+// CacheOnPath installs a translation observed flowing through this GPM
+// (route-based caching, §IV-B). It shares the aux structure.
+func (g *GPM) CacheOnPath(pte vm.PTE) {
+	g.aux.Install(pte, xlat.PushDemand)
+}
+
+// AddLocalMapping registers a page newly resident in this GPM's HBM (page
+// migration target) with the local-page-table cuckoo filter; the page table
+// itself is updated by the placement layer.
+func (g *GPM) AddLocalMapping(pid vm.PID, vpn vm.VPN) {
+	g.filter.Insert(filterKey(tlb.Key{PID: pid, VPN: vpn}))
+}

@@ -1,0 +1,47 @@
+package gpm
+
+import (
+	"hdpat/internal/sim"
+	"hdpat/internal/tlb"
+)
+
+// Shootdown invalidates every cached translation for the given keys: the
+// per-CU L1 TLBs, the shared L2 TLB, the last-level TLB, the auxiliary
+// cache (with its cuckoo filter kept in sync by the eviction hook), and the
+// local-page-table cuckoo filter. It returns how many entries were dropped
+// in total. The paper's scope needs this only when memory is freed (§II-A);
+// the page-migration extension reuses it per migrated page.
+func (g *GPM) Shootdown(keys []tlb.Key) int {
+	n := 0
+	for _, k := range keys {
+		for _, l1 := range g.l1TLBs {
+			if l1.Invalidate(k) {
+				n++
+			}
+		}
+		if g.l2TLB.Invalidate(k) {
+			n++
+		}
+		if g.llTLB.Invalidate(k) {
+			n++
+		}
+		if _, had := g.aux.tlb.Peek(k); had {
+			g.aux.tlb.Invalidate(k)
+			g.aux.filter.Delete(filterKey(k))
+			delete(g.aux.origins, k)
+			n++
+		}
+		// If the page was local, its filter membership must go too, or the
+		// filter would promise a mapping the table no longer has.
+		if g.localPT != nil && !g.localPT.Contains(k.VPN) {
+			g.filter.Delete(filterKey(k))
+		}
+	}
+	return n
+}
+
+// ShootdownLatency returns the cycles a GPM spends processing an
+// invalidation of n keys: a fixed decode cost plus per-key port occupancy.
+func ShootdownLatency(n int) sim.VTime {
+	return 8 + sim.VTime(n)*2
+}

@@ -1,0 +1,366 @@
+// Package iommu models the central Input-Output Memory Management Unit on
+// the CPU tile: the admission (pre-queue) stage, the bounded PW-queue, the
+// shared page-table walkers, and the HDPAT extensions of Fig 12 — the
+// redirection table, the PW-queue revisit, selective auxiliary pushes, and
+// proactive page-entry delivery. The Fig 19 variant replaces the redirection
+// table with an area-equivalent blocking TLB.
+package iommu
+
+import (
+	"hdpat/internal/config"
+	"hdpat/internal/geom"
+	"hdpat/internal/noc"
+	"hdpat/internal/sim"
+	"hdpat/internal/stats"
+	"hdpat/internal/tlb"
+	"hdpat/internal/vm"
+	"hdpat/internal/xlat"
+)
+
+// Stats aggregates IOMMU activity.
+type Stats struct {
+	Requests     uint64 // translation requests reaching the IOMMU
+	Walks        uint64 // page table walks performed
+	RTRedirects  uint64 // requests redirected via the redirection table
+	TLBHits      uint64 // IOMMU-TLB variant hits
+	Revisits     uint64 // queued duplicates served by a completed walk
+	Prefetches   uint64 // PTEs resolved proactively
+	PushesDemand uint64
+	PushesPref   uint64
+	MSHRBlocked  uint64 // IOMMU-TLB variant: arrivals blocked on full MSHRs
+
+	// Breakdown decomposes per-walk latency (Fig 3).
+	Breakdown stats.BreakdownAccumulator
+	// PeakQueue is the highest combined admission+PW-queue depth observed.
+	PeakQueue int
+}
+
+type job struct {
+	req        *xlat.Request
+	arrived    sim.VTime // at the IOMMU
+	enqueued   sim.VTime // into the PW-queue
+	noRedirect bool
+}
+
+// IOMMU is the central translation agent.
+type IOMMU struct {
+	eng    *sim.Engine
+	cfg    config.IOMMU
+	coord  geom.Coord
+	mesh   *noc.Mesh
+	global *vm.PageTable
+
+	// GPMCoord maps a GPM index to its tile, for routing responses.
+	GPMCoord func(id int) geom.Coord
+
+	admission []*job
+	pwq       []*job
+	busy      int
+
+	rt      *RedirectTable
+	iotlb   *tlb.TLB
+	ioMSHR  *tlb.MSHR
+	tlbWait []func()           // arrivals blocked on full IOMMU-TLB MSHRs
+	counts  map[tlb.Key]uint32 // per-PTE access counts ("unused PTE bits")
+	rtProbe sim.VTime          // redirection table / TLB check latency
+
+	// Push delivers a walked or prefetched PTE to auxiliary GPM caches.
+	// It returns the GPM chosen (for the redirection table) and whether a
+	// push happened. Nil when the active scheme has no peer caching.
+	Push func(pte vm.PTE, origin xlat.PushOrigin) (gpm int, ok bool)
+	// Redirect forwards a redirected request to the given GPM. Nil when
+	// redirection is disabled.
+	Redirect func(req *xlat.Request, gpm int)
+	// Observer, when set, sees every arriving request (characterisation
+	// harnesses attach reuse/spatial trackers here).
+	Observer func(now sim.VTime, req *xlat.Request)
+	// QueueSeries, when set, records combined queue depth over time (Fig 4).
+	QueueSeries *stats.TimeSeries
+
+	Stats Stats
+}
+
+// New builds an IOMMU on the CPU tile.
+func New(eng *sim.Engine, cfg config.IOMMU, coord geom.Coord, mesh *noc.Mesh, global *vm.PageTable) *IOMMU {
+	io := &IOMMU{
+		eng: eng, cfg: cfg, coord: coord, mesh: mesh, global: global,
+		counts:  make(map[tlb.Key]uint32),
+		rtProbe: 1,
+	}
+	if cfg.UseTLB {
+		io.iotlb = tlb.New(tlb.Config{Sets: cfg.TLBSets, Ways: cfg.TLBWays, MSHRs: cfg.TLBMSHRs, Latency: 1})
+		io.ioMSHR = tlb.NewMSHR(cfg.TLBMSHRs)
+	} else if cfg.RedirectEntries > 0 {
+		io.rt = NewRedirectTable(cfg.RedirectEntries)
+	}
+	return io
+}
+
+// Coord returns the IOMMU's tile.
+func (io *IOMMU) Coord() geom.Coord { return io.coord }
+
+// RT exposes the redirection table (nil if disabled), for stats.
+func (io *IOMMU) RT() *RedirectTable { return io.rt }
+
+// QueueDepth returns the combined admission + PW-queue + in-service depth.
+func (io *IOMMU) QueueDepth() int { return len(io.admission) + len(io.pwq) + io.busy }
+
+func (io *IOMMU) noteQueue() {
+	d := len(io.admission) + len(io.pwq)
+	if d > io.Stats.PeakQueue {
+		io.Stats.PeakQueue = d
+	}
+	if io.QueueSeries != nil {
+		io.QueueSeries.Record(uint64(io.eng.Now()), float64(d))
+	}
+}
+
+// Submit receives a translation request that has arrived at the CPU tile.
+// noRedirect marks a request bounced back from a failed redirection, which
+// must walk rather than consult the redirection table again.
+func (io *IOMMU) Submit(req *xlat.Request, noRedirect bool) {
+	io.Stats.Requests++
+	if io.Observer != nil {
+		io.Observer(io.eng.Now(), req)
+	}
+	j := &job{req: req, arrived: io.eng.Now(), noRedirect: noRedirect}
+	k := tlb.Key{PID: req.PID, VPN: req.VPN}
+
+	switch {
+	case io.iotlb != nil:
+		io.submitTLB(j, k)
+	case io.rt != nil && !noRedirect:
+		io.eng.Schedule(io.rtProbe, func() {
+			if gpm, ok := io.rt.Lookup(k); ok && io.Redirect != nil {
+				io.Stats.RTRedirects++
+				io.Redirect(req, gpm)
+				return
+			}
+			io.enqueue(j)
+		})
+	default:
+		io.enqueue(j)
+	}
+}
+
+// submitTLB is the Fig 19 variant front-end: a conventional TLB whose MSHRs
+// block admission when exhausted.
+func (io *IOMMU) submitTLB(j *job, k tlb.Key) {
+	io.eng.Schedule(io.iotlb.Latency(), func() { io.tryTLB(j, k) })
+}
+
+// tryTLB is the post-latency TLB access body; it runs synchronously so the
+// drain loop in completeTLBMSHR can observe register consumption.
+func (io *IOMMU) tryTLB(j *job, k tlb.Key) {
+	if pte, ok := io.iotlb.Lookup(k); ok {
+		io.Stats.TLBHits++
+		io.respond(j.req, xlat.Result{PTE: pte, Source: xlat.SourceRedirect})
+		return
+	}
+	primary, ok := io.ioMSHR.Allocate(k, func(pte vm.PTE, found bool) {
+		if found {
+			io.respond(j.req, xlat.Result{PTE: pte, Source: xlat.SourceIOMMU})
+		}
+	})
+	if !ok {
+		// All MSHRs occupied: the request stalls outside the TLB (§V-E)
+		// until a register frees.
+		io.Stats.MSHRBlocked++
+		io.tlbWait = append(io.tlbWait, func() { io.tryTLB(j, k) })
+		return
+	}
+	if primary {
+		// The walk's completion fills the TLB and drains the MSHR rather
+		// than responding directly.
+		io.enqueue(j)
+	}
+}
+
+func (io *IOMMU) enqueue(j *job) {
+	if len(io.pwq) < io.cfg.PWQueueCap {
+		j.enqueued = io.eng.Now()
+		io.pwq = append(io.pwq, j)
+	} else {
+		io.admission = append(io.admission, j)
+	}
+	io.noteQueue()
+	io.dispatch()
+}
+
+func (io *IOMMU) dispatch() {
+	for io.busy < io.cfg.Walkers && len(io.pwq) > 0 {
+		j := io.pwq[0]
+		io.pwq = io.pwq[1:]
+		io.promote()
+		// A request already answered by a peer cache while it queued (the
+		// concurrent-probe race) must not burn a walker. In the IOMMU-TLB
+		// variant the walk serves the whole MSHR register (merged waiters
+		// included), not just this request, so it must proceed regardless.
+		if io.iotlb == nil && j.req.Completed() {
+			continue
+		}
+		// The redirection table sits in front of the walkers (Fig 12): a
+		// request that queued before its translation completed elsewhere is
+		// caught here instead of burning a walker — the "requests quickly
+		// catch up to recently completed translations" behaviour of §IV-F.
+		if io.rt != nil && !j.noRedirect && io.Redirect != nil {
+			k := tlb.Key{PID: j.req.PID, VPN: j.req.VPN}
+			if gpm, ok := io.rt.Lookup(k); ok {
+				io.Stats.RTRedirects++
+				io.Redirect(j.req, gpm)
+				continue
+			}
+		}
+		io.busy++
+		start := io.eng.Now()
+		service := io.cfg.WalkCycles
+		if io.cfg.PrefetchDegree > 1 {
+			service += io.cfg.PrefetchExtraCycles * sim.VTime(io.cfg.PrefetchDegree-1)
+		}
+		io.eng.At(start+service, func() { io.walkDone(j, start, service) })
+	}
+}
+
+// promote moves admission-stage jobs into freed PW-queue slots.
+func (io *IOMMU) promote() {
+	for len(io.admission) > 0 && len(io.pwq) < io.cfg.PWQueueCap {
+		j := io.admission[0]
+		io.admission = io.admission[1:]
+		j.enqueued = io.eng.Now()
+		io.pwq = append(io.pwq, j)
+	}
+}
+
+func (io *IOMMU) walkDone(j *job, started sim.VTime, service sim.VTime) {
+	io.busy--
+	io.Stats.Walks++
+	io.Stats.Breakdown.Add(
+		uint64(j.enqueued-j.arrived),
+		uint64(started-j.enqueued),
+		uint64(service),
+	)
+	k := tlb.Key{PID: j.req.PID, VPN: j.req.VPN}
+	pte, _, found := io.global.Lookup(k.VPN)
+	io.counts[k]++
+
+	if io.iotlb != nil {
+		if found {
+			io.iotlb.Insert(pte)
+		}
+		io.completeTLBMSHR(k, pte, found)
+	} else {
+		src := xlat.SourceIOMMU
+		io.respond(j.req, xlat.Result{PTE: pte, Source: src})
+	}
+
+	if io.cfg.Revisit {
+		io.revisit(k, pte, found)
+	}
+
+	// Selective push of the demand-walked PTE (§IV-F): only translations
+	// whose access count crossed the threshold earn auxiliary cache space.
+	pushedTo := -1
+	if found && io.Push != nil && io.counts[k] >= io.cfg.PushThreshold {
+		if gpm, ok := io.Push(pte, xlat.PushDemand); ok {
+			io.Stats.PushesDemand++
+			pushedTo = gpm
+		}
+	}
+	if io.rt != nil && pushedTo >= 0 {
+		io.rt.Insert(k, pushedTo)
+	}
+
+	// Proactive page-entry delivery (§IV-G): resolve the next degree-1
+	// sequential PTEs (their cost was charged into this walk's service) and
+	// push them outward; the redirection table learns N+1.
+	if io.cfg.PrefetchDegree > 1 {
+		for d := 1; d < io.cfg.PrefetchDegree; d++ {
+			nk := tlb.Key{PID: k.PID, VPN: k.VPN + vm.VPN(d)}
+			npte, _, nfound := io.global.Lookup(nk.VPN)
+			if !nfound {
+				continue
+			}
+			io.Stats.Prefetches++
+			if io.iotlb != nil {
+				io.iotlb.Insert(npte)
+				continue
+			}
+			if io.Push != nil {
+				if gpm, ok := io.Push(npte, xlat.PushPrefetch); ok {
+					io.Stats.PushesPref++
+					if io.rt != nil && d == 1 {
+						io.rt.Insert(nk, gpm)
+					}
+				}
+			}
+		}
+	}
+
+	io.promote()
+	io.noteQueue()
+	io.dispatch()
+}
+
+// revisit serves queued duplicates of a just-completed walk (§IV-F step 6;
+// the Barre mechanism): identical requests pending in the PW-queue respond
+// immediately and vacate it. Only the PW-queue is scanned — requests still
+// in the admission stage are outside the walker's reach, which is exactly
+// why the PW-queue's size bounds this mechanism's benefit (§V-B).
+func (io *IOMMU) revisit(k tlb.Key, pte vm.PTE, found bool) {
+	if !found {
+		return
+	}
+	out := io.pwq[:0]
+	for _, j := range io.pwq {
+		if j.req.PID == k.PID && j.req.VPN == k.VPN {
+			io.Stats.Revisits++
+			if io.iotlb != nil {
+				io.completeTLBMSHR(tlb.Key{PID: j.req.PID, VPN: j.req.VPN}, pte, true)
+			} else {
+				io.respond(j.req, xlat.Result{PTE: pte, Source: xlat.SourceIOMMU})
+			}
+			continue
+		}
+		out = append(out, j)
+	}
+	io.pwq = out
+}
+
+// completeTLBMSHR resolves an IOMMU-TLB miss register, then drains blocked
+// arrivals while registers remain free. Waiters that now hit the TLB or
+// merge into another register consume nothing, so draining continues until
+// one allocates or the queue empties — preventing stranded requests when
+// the last outstanding walk completes.
+func (io *IOMMU) completeTLBMSHR(k tlb.Key, pte vm.PTE, found bool) {
+	io.ioMSHR.Complete(k, pte, found)
+	for len(io.tlbWait) > 0 && io.ioMSHR.Used() < io.ioMSHR.Capacity() {
+		w := io.tlbWait[0]
+		io.tlbWait = io.tlbWait[1:]
+		w()
+	}
+}
+
+// respond routes a completion back to the requesting GPM over the mesh.
+func (io *IOMMU) respond(req *xlat.Request, res xlat.Result) {
+	io.mesh.Send(io.coord, io.GPMCoord(req.Requester), xlat.RespBytes, func() {
+		req.Complete(res)
+	})
+}
+
+// AccessCount returns the recorded demand count for a page (tests).
+func (io *IOMMU) AccessCount(k tlb.Key) uint32 { return io.counts[k] }
+
+// Invalidate drops all state the IOMMU holds for the given keys: redirect
+// table entries, IOMMU-TLB entries (Fig 19 variant), and the per-PTE access
+// counters. It is the IOMMU-side half of a TLB shootdown.
+func (io *IOMMU) Invalidate(keys []tlb.Key) {
+	for _, k := range keys {
+		if io.rt != nil {
+			io.rt.Remove(k)
+		}
+		if io.iotlb != nil {
+			io.iotlb.Invalidate(k)
+		}
+		delete(io.counts, k)
+	}
+}

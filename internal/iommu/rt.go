@@ -1,0 +1,113 @@
+package iommu
+
+import (
+	"hdpat/internal/tlb"
+)
+
+// RedirectTable is the lightweight structure of §IV-F: an LRU-managed map
+// from (PID, VPN) to the caching GPM that most recently received that
+// translation. It stores no physical addresses and needs no MSHRs, which is
+// exactly why it is smaller and more concurrency-friendly than a TLB at
+// equal area (Fig 19): a hit simply redirects the request and the entry's
+// work is done.
+type RedirectTable struct {
+	cap   int
+	nodes map[tlb.Key]*rtNode
+	head  *rtNode // MRU
+	tail  *rtNode // LRU
+
+	Hits      uint64
+	Misses    uint64
+	Inserts   uint64
+	Evictions uint64
+}
+
+type rtNode struct {
+	key        tlb.Key
+	gpm        int
+	prev, next *rtNode
+}
+
+// NewRedirectTable creates a table with the given entry capacity.
+func NewRedirectTable(capacity int) *RedirectTable {
+	return &RedirectTable{cap: capacity, nodes: make(map[tlb.Key]*rtNode)}
+}
+
+// Len returns the resident entry count.
+func (r *RedirectTable) Len() int { return len(r.nodes) }
+
+// Capacity returns the entry capacity.
+func (r *RedirectTable) Capacity() int { return r.cap }
+
+func (r *RedirectTable) unlink(n *rtNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		r.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		r.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (r *RedirectTable) pushFront(n *rtNode) {
+	n.next = r.head
+	if r.head != nil {
+		r.head.prev = n
+	}
+	r.head = n
+	if r.tail == nil {
+		r.tail = n
+	}
+}
+
+// Lookup returns the GPM holding k's translation, refreshing recency.
+func (r *RedirectTable) Lookup(k tlb.Key) (int, bool) {
+	n, ok := r.nodes[k]
+	if !ok {
+		r.Misses++
+		return 0, false
+	}
+	r.unlink(n)
+	r.pushFront(n)
+	r.Hits++
+	return n.gpm, true
+}
+
+// Insert records that gpm now holds k's translation, evicting LRU on
+// overflow. Re-inserting refreshes and may re-point an existing entry.
+func (r *RedirectTable) Insert(k tlb.Key, gpm int) {
+	if r.cap <= 0 {
+		return
+	}
+	if n, ok := r.nodes[k]; ok {
+		n.gpm = gpm
+		r.unlink(n)
+		r.pushFront(n)
+		return
+	}
+	if len(r.nodes) >= r.cap {
+		victim := r.tail
+		r.unlink(victim)
+		delete(r.nodes, victim.key)
+		r.Evictions++
+	}
+	n := &rtNode{key: k, gpm: gpm}
+	r.nodes[k] = n
+	r.pushFront(n)
+	r.Inserts++
+}
+
+// Remove drops a stale entry (a redirect that missed at the target GPM).
+func (r *RedirectTable) Remove(k tlb.Key) bool {
+	n, ok := r.nodes[k]
+	if !ok {
+		return false
+	}
+	r.unlink(n)
+	delete(r.nodes, k)
+	return true
+}

@@ -1,0 +1,107 @@
+package iommu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hdpat/internal/tlb"
+	"hdpat/internal/vm"
+)
+
+func k(v vm.VPN) tlb.Key { return tlb.Key{VPN: v} }
+
+func TestRTInsertLookup(t *testing.T) {
+	rt := NewRedirectTable(4)
+	rt.Insert(k(1), 7)
+	gpm, ok := rt.Lookup(k(1))
+	if !ok || gpm != 7 {
+		t.Fatalf("lookup = %d,%v", gpm, ok)
+	}
+	if _, ok := rt.Lookup(k(2)); ok {
+		t.Fatal("hit for absent key")
+	}
+	if rt.Hits != 1 || rt.Misses != 1 {
+		t.Errorf("hits=%d misses=%d", rt.Hits, rt.Misses)
+	}
+}
+
+func TestRTLRUEviction(t *testing.T) {
+	rt := NewRedirectTable(2)
+	rt.Insert(k(1), 1)
+	rt.Insert(k(2), 2)
+	rt.Lookup(k(1)) // 1 MRU
+	rt.Insert(k(3), 3)
+	if _, ok := rt.Lookup(k(2)); ok {
+		t.Error("LRU entry survived")
+	}
+	if _, ok := rt.Lookup(k(1)); !ok {
+		t.Error("MRU entry evicted")
+	}
+	if rt.Evictions != 1 {
+		t.Errorf("evictions = %d", rt.Evictions)
+	}
+}
+
+func TestRTReinsertRepoints(t *testing.T) {
+	rt := NewRedirectTable(4)
+	rt.Insert(k(1), 5)
+	rt.Insert(k(1), 9)
+	if rt.Len() != 1 {
+		t.Fatalf("len = %d", rt.Len())
+	}
+	gpm, _ := rt.Lookup(k(1))
+	if gpm != 9 {
+		t.Errorf("gpm = %d, want 9", gpm)
+	}
+}
+
+func TestRTRemove(t *testing.T) {
+	rt := NewRedirectTable(4)
+	rt.Insert(k(1), 5)
+	if !rt.Remove(k(1)) {
+		t.Fatal("remove of present key failed")
+	}
+	if rt.Remove(k(1)) {
+		t.Fatal("double remove succeeded")
+	}
+	if _, ok := rt.Lookup(k(1)); ok {
+		t.Error("removed key still present")
+	}
+}
+
+func TestRTZeroCapacity(t *testing.T) {
+	rt := NewRedirectTable(0)
+	rt.Insert(k(1), 5) // must not panic
+	if rt.Len() != 0 {
+		t.Error("zero-cap table stored an entry")
+	}
+}
+
+// Property: table never exceeds capacity and lookups return the most recent
+// insert for each key.
+func TestRTProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rt := NewRedirectTable(16)
+		ref := map[tlb.Key]int{}
+		for i := 0; i < 500; i++ {
+			key := k(vm.VPN(rng.Intn(40)))
+			gpm := rng.Intn(48)
+			rt.Insert(key, gpm)
+			ref[key] = gpm
+			if rt.Len() > 16 {
+				return false
+			}
+		}
+		for key, want := range ref {
+			if got, ok := rt.Lookup(key); ok && got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

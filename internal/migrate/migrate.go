@@ -1,0 +1,159 @@
+// Package migrate implements the page-migration extension the paper's
+// conclusion names as future work ("opens pathways for future exploration
+// in ... intelligent page migration"). A manager observes remote
+// translation requests; when one GPM dominates the traffic to a page, the
+// page is migrated into that GPM's HBM: the page tables are repointed, a
+// wafer-wide TLB shootdown retires every cached copy of the old
+// translation, and the page data is copied over the mesh. Subsequent
+// accesses are fully local — no GMMU/IOMMU involvement at all.
+//
+// The paper excludes migration from its evaluation precisely because the
+// zero-copy model's computable ownership breaks under it; the placement
+// layer keeps an explicit overlay for migrated pages so owner-dependent
+// schemes (ownerfw) stay correct.
+package migrate
+
+import (
+	"hdpat/internal/core"
+	"hdpat/internal/sim"
+	"hdpat/internal/tlb"
+	"hdpat/internal/vm"
+	"hdpat/internal/xlat"
+)
+
+// Config tunes the migration policy.
+type Config struct {
+	// Threshold is the number of remote translation requests from a single
+	// GPM after which migration is considered.
+	Threshold uint32
+	// DominanceNum/DominanceDen: the top requester must account for at
+	// least Num/Den of the page's remote requests, or the page is shared
+	// and migrating it would ping-pong. Default 2/3.
+	DominanceNum uint32
+	DominanceDen uint32
+	// Cooldown is the minimum interval between migrations of the same page.
+	Cooldown sim.VTime
+	// MaxInflight bounds concurrent migrations (DMA engine count).
+	MaxInflight int
+}
+
+// DefaultConfig returns a conservative policy.
+func DefaultConfig() Config {
+	return Config{Threshold: 2, DominanceNum: 2, DominanceDen: 3, Cooldown: 50_000, MaxInflight: 8}
+}
+
+// Stats counts migration activity.
+type Stats struct {
+	Migrations   uint64
+	BytesMoved   uint64
+	Dropped      uint64 // cached entries retired by shootdowns
+	SkippedShare uint64 // candidates rejected as shared (no dominant GPM)
+	SkippedBusy  uint64 // candidates rejected by inflight/cooldown limits
+}
+
+type pageHeat struct {
+	byGPM     map[int]uint32
+	total     uint32
+	lastMoved sim.VTime
+	moved     bool
+}
+
+// Manager watches remote translation traffic and migrates hot pages.
+type Manager struct {
+	f   *core.Fabric
+	cfg Config
+
+	heat     map[tlb.Key]*pageHeat
+	inflight int
+
+	Stats Stats
+}
+
+// New creates a manager over an assembled fabric (Placement must be set).
+func New(f *core.Fabric, cfg Config) *Manager {
+	if cfg.DominanceDen == 0 {
+		cfg.DominanceNum, cfg.DominanceDen = 2, 3
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 1
+	}
+	return &Manager{f: f, cfg: cfg, heat: make(map[tlb.Key]*pageHeat)}
+}
+
+// Wrap interposes the manager on a translation scheme so it sees every
+// remote request (not only those reaching the IOMMU — peer-served pages are
+// exactly the ones worth making local).
+func (m *Manager) Wrap(inner xlat.RemoteTranslator) xlat.RemoteTranslator {
+	return &wrapped{m: m, inner: inner}
+}
+
+type wrapped struct {
+	m     *Manager
+	inner xlat.RemoteTranslator
+}
+
+func (w *wrapped) Name() string { return w.inner.Name() + "+migrate" }
+
+func (w *wrapped) Translate(req *xlat.Request) {
+	w.m.observe(req)
+	w.inner.Translate(req)
+}
+
+func (m *Manager) observe(req *xlat.Request) {
+	k := tlb.Key{PID: req.PID, VPN: req.VPN}
+	h := m.heat[k]
+	if h == nil {
+		h = &pageHeat{byGPM: make(map[int]uint32)}
+		m.heat[k] = h
+	}
+	h.byGPM[req.Requester]++
+	h.total++
+	n := h.byGPM[req.Requester]
+	if n < m.cfg.Threshold {
+		return
+	}
+	// Dominance check: a page most GPMs share must stay put.
+	if n*m.cfg.DominanceDen < h.total*m.cfg.DominanceNum {
+		m.Stats.SkippedShare++
+		return
+	}
+	now := m.f.Eng.Now()
+	if m.inflight >= m.cfg.MaxInflight || (h.moved && now-h.lastMoved < m.cfg.Cooldown) {
+		m.Stats.SkippedBusy++
+		return
+	}
+	m.migrate(k, req.Requester, h)
+}
+
+// migrate repoints the page to the target GPM, shoots down stale cached
+// translations wafer-wide, then copies the page data over the mesh.
+func (m *Manager) migrate(k tlb.Key, to int, h *pageHeat) {
+	old, _, ok := m.f.Placement.Migrate(k.VPN, to)
+	if !ok {
+		return
+	}
+	m.inflight++
+	h.moved = true
+	h.lastMoved = m.f.Eng.Now()
+	// Reset the heat so post-migration traffic is judged afresh.
+	h.byGPM = make(map[int]uint32)
+	h.total = 0
+
+	target := m.f.GPMs[to]
+	target.AddLocalMapping(k.PID, k.VPN)
+
+	m.f.Shootdown(k.PID, []vm.VPN{k.VPN}, func(dropped int) {
+		m.Stats.Dropped += uint64(dropped)
+		// Copy the page: one transfer over the mesh from the old owner,
+		// charged against link bandwidth, plus HBM time at both ends.
+		pageBytes := int(m.f.GPMs[0].PageSize())
+		src := m.f.GPMs[old.Owner]
+		m.f.Mesh.Send(src.Coord, target.Coord, pageBytes, func() {
+			target.ServeLine(0, func() { // destination write
+				m.Stats.Migrations++
+				m.Stats.BytesMoved += uint64(pageBytes)
+				m.inflight--
+			})
+		})
+	})
+}

@@ -1,0 +1,148 @@
+// Package noc models the wafer's interposer mesh network (Table I:
+// 768 GB/s per link, 32-cycle latency per link) with dimension-ordered XY
+// routing. Each directed link serialises traffic at the link bandwidth;
+// a message traverses its path hop by hop, paying serialisation plus the
+// fixed hop latency at each link. This produces the geometry-dependent
+// latency and the multi-hop bandwidth consumption that §III identifies as
+// central to the wafer-scale translation problem.
+package noc
+
+import (
+	"fmt"
+
+	"hdpat/internal/geom"
+	"hdpat/internal/sim"
+)
+
+// Config describes the mesh links. At 1 GHz, 768 GB/s is 768 B/cycle.
+type Config struct {
+	HopLatency    sim.VTime
+	BytesPerCycle float64
+}
+
+// DefaultConfig matches Table I.
+func DefaultConfig() Config {
+	return Config{HopLatency: 32, BytesPerCycle: 768}
+}
+
+// Stats aggregates network activity.
+type Stats struct {
+	Messages  uint64
+	ByteHops  uint64 // sum over messages of size x hops: the traffic metric of §V-D
+	HopsTotal uint64
+	MaxHops   int
+}
+
+type link struct {
+	line sim.Line
+	debt float64
+}
+
+// Mesh is the wafer network. It is driven by the shared simulation engine.
+type Mesh struct {
+	cfg    Config
+	eng    *sim.Engine
+	layout *geom.Mesh
+	// links[from][dir]: four directed output links per tile.
+	links []([4]*link)
+	Stats Stats
+}
+
+// direction indices
+const (
+	dirEast = iota
+	dirWest
+	dirSouth
+	dirNorth
+)
+
+// New builds the network over the given wafer layout.
+func New(eng *sim.Engine, layout *geom.Mesh, cfg Config) *Mesh {
+	m := &Mesh{cfg: cfg, eng: eng, layout: layout, links: make([][4]*link, layout.NumTiles())}
+	for i := range m.links {
+		for d := 0; d < 4; d++ {
+			m.links[i][d] = &link{}
+		}
+	}
+	return m
+}
+
+// Layout returns the wafer geometry the mesh routes over.
+func (m *Mesh) Layout() *geom.Mesh { return m.layout }
+
+// Config returns the link parameters.
+func (m *Mesh) Config() Config { return m.cfg }
+
+func dirOf(from, to geom.Coord) int {
+	switch {
+	case to.X == from.X+1 && to.Y == from.Y:
+		return dirEast
+	case to.X == from.X-1 && to.Y == from.Y:
+		return dirWest
+	case to.X == from.X && to.Y == from.Y+1:
+		return dirSouth
+	case to.X == from.X && to.Y == from.Y-1:
+		return dirNorth
+	}
+	panic(fmt.Sprintf("noc: %v -> %v is not a single hop", from, to))
+}
+
+// Send routes a message of `size` bytes from src to dst and invokes deliver
+// at the arrival time. src == dst delivers after a single local forwarding
+// delay of one cycle (an on-tile loopback, no link consumed).
+func (m *Mesh) Send(src, dst geom.Coord, size int, deliver func()) {
+	m.Stats.Messages++
+	path := m.layout.XYPath(src, dst)
+	if len(path) > m.Stats.MaxHops {
+		m.Stats.MaxHops = len(path)
+	}
+	m.Stats.HopsTotal += uint64(len(path))
+	m.Stats.ByteHops += uint64(size) * uint64(len(path))
+	if len(path) == 0 {
+		m.eng.Schedule(1, deliver)
+		return
+	}
+	m.hop(src, path, 0, size, deliver)
+}
+
+func (m *Mesh) hop(cur geom.Coord, path []geom.Coord, i, size int, deliver func()) {
+	next := path[i]
+	l := m.links[m.layout.NodeID(cur)][dirOf(cur, next)]
+	// Serialisation: accumulate fractional cycles so small messages still
+	// consume bandwidth in aggregate.
+	l.debt += float64(size) / m.cfg.BytesPerCycle
+	hold := sim.VTime(0)
+	if l.debt >= 1 {
+		whole := sim.VTime(l.debt)
+		l.debt -= float64(whole)
+		hold = whole
+	}
+	now := m.eng.Now()
+	_, end := l.line.Occupy(now, hold)
+	arrive := end + m.cfg.HopLatency
+	m.eng.At(arrive, func() {
+		if i+1 == len(path) {
+			deliver()
+			return
+		}
+		m.hop(next, path, i+1, size, deliver)
+	})
+}
+
+// LatencyLowerBound returns the zero-load latency between two tiles: hops x
+// hop latency (serialisation excluded). Useful for analytical checks.
+func (m *Mesh) LatencyLowerBound(src, dst geom.Coord) sim.VTime {
+	return sim.VTime(src.Manhattan(dst)) * m.cfg.HopLatency
+}
+
+// LinkUtilization returns the total busy cycles across all links,
+// for coarse congestion reporting.
+func (m *Mesh) LinkUtilization() sim.VTime {
+	var t sim.VTime
+	for i := range m.links {
+		for d := 0; d < 4; d++ {
+			t += m.links[i][d].line.BusyCycles
+		}
+	}
+	return t
+}

@@ -1,0 +1,178 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+
+	"hdpat/internal/geom"
+	"hdpat/internal/sim"
+)
+
+func mkMesh() (*sim.Engine, *Mesh) {
+	eng := sim.NewEngine()
+	layout := geom.NewMesh(7, 7)
+	return eng, New(eng, layout, Config{HopLatency: 32, BytesPerCycle: 768})
+}
+
+func TestZeroLoadLatency(t *testing.T) {
+	eng, m := mkMesh()
+	var arrived sim.VTime
+	src, dst := geom.XY(0, 0), geom.XY(3, 3)
+	m.Send(src, dst, 16, func() { arrived = eng.Now() })
+	eng.Run()
+	want := m.LatencyLowerBound(src, dst) // 6 hops x 32 = 192
+	if arrived != want {
+		t.Errorf("arrival at %d, want %d", arrived, want)
+	}
+}
+
+func TestLocalLoopback(t *testing.T) {
+	eng, m := mkMesh()
+	var arrived sim.VTime
+	c := geom.XY(2, 2)
+	m.Send(c, c, 64, func() { arrived = eng.Now() })
+	eng.Run()
+	if arrived != 1 {
+		t.Errorf("loopback at %d, want 1", arrived)
+	}
+}
+
+func TestSerialisationUnderLoad(t *testing.T) {
+	eng := sim.NewEngine()
+	layout := geom.NewMesh(3, 3)
+	// 64 B/cycle: each 64 B message occupies a link for a full cycle.
+	m := New(eng, layout, Config{HopLatency: 10, BytesPerCycle: 64})
+	src, dst := geom.XY(0, 1), geom.XY(1, 1)
+	var times []sim.VTime
+	for i := 0; i < 4; i++ {
+		m.Send(src, dst, 64, func() { times = append(times, eng.Now()) })
+	}
+	eng.Run()
+	// First message: serialise 1 cycle + 10 latency = 11; then one per cycle.
+	want := []sim.VTime{11, 12, 13, 14}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestOppositeDirectionsIndependent(t *testing.T) {
+	eng := sim.NewEngine()
+	layout := geom.NewMesh(3, 3)
+	m := New(eng, layout, Config{HopLatency: 10, BytesPerCycle: 64})
+	a, b := geom.XY(0, 1), geom.XY(1, 1)
+	var ta, tb sim.VTime
+	m.Send(a, b, 64, func() { ta = eng.Now() })
+	m.Send(b, a, 64, func() { tb = eng.Now() })
+	eng.Run()
+	if ta != 11 || tb != 11 {
+		t.Errorf("opposite-direction sends interfered: %d, %d", ta, tb)
+	}
+}
+
+func TestStats(t *testing.T) {
+	eng, m := mkMesh()
+	m.Send(geom.XY(0, 0), geom.XY(2, 0), 100, func() {})
+	eng.Run()
+	if m.Stats.Messages != 1 {
+		t.Errorf("Messages = %d", m.Stats.Messages)
+	}
+	if m.Stats.ByteHops != 200 {
+		t.Errorf("ByteHops = %d, want 200", m.Stats.ByteHops)
+	}
+	if m.Stats.MaxHops != 2 || m.Stats.HopsTotal != 2 {
+		t.Errorf("hops: max=%d total=%d", m.Stats.MaxHops, m.Stats.HopsTotal)
+	}
+}
+
+func TestManySendsAllDeliver(t *testing.T) {
+	eng, m := mkMesh()
+	layout := m.Layout()
+	delivered := 0
+	n := 0
+	for _, src := range layout.GPMs() {
+		for _, dst := range []geom.Coord{layout.CPU, geom.XY(0, 0), geom.XY(6, 6)} {
+			if src == dst {
+				continue
+			}
+			n++
+			m.Send(src, dst, 32, func() { delivered++ })
+		}
+	}
+	eng.Run()
+	if delivered != n {
+		t.Fatalf("delivered %d of %d", delivered, n)
+	}
+}
+
+func TestFarLinkCongestionRaisesLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	layout := geom.NewMesh(7, 7)
+	m := New(eng, layout, Config{HopLatency: 32, BytesPerCycle: 8})
+	// Hammer a single column path; later messages must arrive strictly later
+	// than zero-load latency.
+	src, dst := geom.XY(0, 3), geom.XY(6, 3)
+	var last sim.VTime
+	const n = 100
+	for i := 0; i < n; i++ {
+		m.Send(src, dst, 64, func() { last = eng.Now() })
+	}
+	eng.Run()
+	zeroLoad := m.LatencyLowerBound(src, dst)
+	if last <= zeroLoad+sim.VTime(n/2) {
+		t.Errorf("no congestion observed: last=%d zeroload=%d", last, zeroLoad)
+	}
+	if m.LinkUtilization() == 0 {
+		t.Error("link utilisation not recorded")
+	}
+}
+
+// Property: ByteHops conservation — total equals the sum over messages of
+// size x Manhattan distance.
+func TestByteHopsConservation(t *testing.T) {
+	eng, m := mkMesh()
+	layout := m.Layout()
+	rng := rand.New(rand.NewSource(11))
+	var want uint64
+	for i := 0; i < 500; i++ {
+		src := layout.GPMs()[rng.Intn(layout.NumGPMs())]
+		dst := layout.GPMs()[rng.Intn(layout.NumGPMs())]
+		size := rng.Intn(100) + 1
+		want += uint64(size) * uint64(src.Manhattan(dst))
+		m.Send(src, dst, size, func() {})
+	}
+	eng.Run()
+	if m.Stats.ByteHops != want {
+		t.Errorf("ByteHops = %d, want %d", m.Stats.ByteHops, want)
+	}
+	if m.Stats.Messages != 500 {
+		t.Errorf("Messages = %d", m.Stats.Messages)
+	}
+}
+
+// Determinism: two identical traffic patterns deliver at identical times.
+func TestMeshDeterminism(t *testing.T) {
+	runOnce := func() []sim.VTime {
+		eng, m := mkMesh()
+		layout := m.Layout()
+		rng := rand.New(rand.NewSource(5))
+		var times []sim.VTime
+		for i := 0; i < 300; i++ {
+			src := layout.GPMs()[rng.Intn(layout.NumGPMs())]
+			dst := layout.GPMs()[rng.Intn(layout.NumGPMs())]
+			m.Send(src, dst, rng.Intn(200)+1, func() { times = append(times, eng.Now()) })
+		}
+		eng.Run()
+		return times
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatal("different delivery counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// other component of the wafer-scale GPU model.
+//
+// Time is measured in GPU cycles (VTime). The Engine maintains a binary heap
+// of scheduled events ordered by (time, sequence number); events scheduled
+// for the same cycle run in scheduling order, which makes every simulation
+// fully deterministic for a given input.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// VTime is a point in simulated time, in cycles.
+type VTime uint64
+
+// Infinity is a time later than any event a simulation will ever schedule.
+const Infinity VTime = math.MaxUint64
+
+type event struct {
+	time VTime
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Engine is a single-threaded discrete-event scheduler.
+// The zero value is ready to use.
+type Engine struct {
+	now     VTime
+	seq     uint64
+	events  eventHeap
+	stopped bool
+
+	// Processed counts events executed so far; useful for progress reporting
+	// and for bounding runaway simulations in tests.
+	Processed uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() VTime { return e.now }
+
+// Pending reports the number of events not yet executed.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay cycles (possibly zero, meaning later in the
+// current cycle, after already-scheduled same-cycle events).
+func (e *Engine) Schedule(delay VTime, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t. Scheduling in the past is a programming
+// error and panics, since it would silently corrupt causality.
+func (e *Engine) At(t VTime, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	e.events.pushEvent(event{time: t, seq: e.seq, fn: fn})
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.RunUntil(Infinity)
+}
+
+// RunUntil executes events with time <= limit. Events scheduled exactly at
+// limit do run. On return the engine clock is the time of the last executed
+// event (or unchanged if none ran).
+func (e *Engine) RunUntil(limit VTime) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		if e.events.peek().time > limit {
+			return
+		}
+		ev := e.events.popEvent()
+		e.now = ev.time
+		e.Processed++
+		ev.fn()
+	}
+}
+
+// Step executes exactly one event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := e.events.popEvent()
+	e.now = ev.time
+	e.Processed++
+	ev.fn()
+	return true
+}
+
+// Stop halts Run/RunUntil after the current event returns. Remaining events
+// stay queued; a subsequent Run resumes them.
+func (e *Engine) Stop() { e.stopped = true }

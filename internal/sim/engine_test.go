@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(10, func() { got = append(got, 2) })
+	e.Schedule(5, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 3) })
+	e.Run()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now() = %d, want 20", e.Now())
+	}
+}
+
+func TestEngineSameCycleFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(7, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-cycle events ran out of order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var trace []VTime
+	e.Schedule(1, func() {
+		trace = append(trace, e.Now())
+		e.Schedule(3, func() { trace = append(trace, e.Now()) })
+		e.Schedule(0, func() { trace = append(trace, e.Now()) })
+	})
+	e.Run()
+	want := []VTime{1, 1, 4}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	for _, d := range []VTime{5, 10, 15, 20} {
+		e.Schedule(d, func() { ran++ })
+	}
+	e.RunUntil(10)
+	if ran != 2 {
+		t.Fatalf("ran %d events by t=10, want 2", ran)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending %d, want 2", e.Pending())
+	}
+	e.Run()
+	if ran != 4 {
+		t.Fatalf("ran %d events total, want 4", ran)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(1, func() { ran++; e.Stop() })
+	e.Schedule(2, func() { ran++ })
+	e.Run()
+	if ran != 1 {
+		t.Fatalf("Stop did not halt engine: ran %d", ran)
+	}
+	e.Run() // resumes
+	if ran != 2 {
+		t.Fatalf("resume after Stop ran %d, want 2", ran)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(3, func() { n++ })
+	if !e.Step() {
+		t.Fatal("Step returned false with a pending event")
+	}
+	if n != 1 || e.Now() != 3 {
+		t.Fatalf("after Step: n=%d now=%d", n, e.Now())
+	}
+	if e.Step() {
+		t.Fatal("Step returned true with no events")
+	}
+}
+
+// Property: for any set of delays, events execute in nondecreasing time order
+// and the engine processes all of them.
+func TestEngineTimeMonotonic(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var times []VTime
+		for _, d := range delays {
+			d := VTime(d)
+			e.Schedule(d, func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		if len(times) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolSingleServerSerialises(t *testing.T) {
+	p := NewPool(1)
+	s1 := p.Acquire(0, 100)
+	s2 := p.Acquire(0, 100)
+	s3 := p.Acquire(250, 100)
+	if s1 != 0 || s2 != 100 || s3 != 250 {
+		t.Fatalf("starts = %d,%d,%d; want 0,100,250", s1, s2, s3)
+	}
+}
+
+func TestPoolParallelism(t *testing.T) {
+	p := NewPool(4)
+	for i := 0; i < 4; i++ {
+		if s := p.Acquire(0, 50); s != 0 {
+			t.Fatalf("server %d start %d, want 0", i, s)
+		}
+	}
+	if s := p.Acquire(0, 50); s != 50 {
+		t.Fatalf("5th job start %d, want 50", s)
+	}
+	if got := p.Busy(25); got != 4 {
+		t.Fatalf("Busy(25) = %d, want 4", got)
+	}
+}
+
+// Property: a k-server pool never has more than k jobs in service at once,
+// and starts are never before arrivals.
+func TestPoolInvariants(t *testing.T) {
+	f := func(seed int64, k8 uint8) bool {
+		k := int(k8%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		p := NewPool(k)
+		type iv struct{ s, e VTime }
+		var jobs []iv
+		now := VTime(0)
+		for i := 0; i < 200; i++ {
+			now += VTime(rng.Intn(20))
+			svc := VTime(rng.Intn(50) + 1)
+			s := p.Acquire(now, svc)
+			if s < now {
+				return false
+			}
+			jobs = append(jobs, iv{s, s + svc})
+		}
+		// Check max concurrency k at every start point.
+		for _, j := range jobs {
+			conc := 0
+			for _, o := range jobs {
+				if o.s <= j.s && j.s < o.e {
+					conc++
+				}
+			}
+			if conc > k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLine(t *testing.T) {
+	var l Line
+	s, e := l.Occupy(10, 5)
+	if s != 10 || e != 15 {
+		t.Fatalf("first occupy %d-%d, want 10-15", s, e)
+	}
+	s, e = l.Occupy(11, 5)
+	if s != 15 || e != 20 {
+		t.Fatalf("second occupy %d-%d, want 15-20", s, e)
+	}
+	if b := l.Backlog(16); b != 4 {
+		t.Fatalf("Backlog(16) = %d, want 4", b)
+	}
+	if b := l.Backlog(30); b != 0 {
+		t.Fatalf("Backlog(30) = %d, want 0", b)
+	}
+	if l.BusyCycles != 10 {
+		t.Fatalf("BusyCycles = %d, want 10", l.BusyCycles)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(VTime(j%17), func() {})
+		}
+		e.Run()
+	}
+}

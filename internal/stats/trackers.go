@@ -1,0 +1,123 @@
+package stats
+
+// ReuseTracker measures, over a stream of page translation requests, the
+// per-page request count (Fig 6) and the reuse distance — the number of
+// intervening requests between touches of the same page (Fig 7, O3).
+type ReuseTracker struct {
+	index    uint64
+	lastSeen map[uint64]uint64
+	counts   map[uint64]uint64
+
+	Distances Histogram
+}
+
+// NewReuseTracker creates an empty tracker.
+func NewReuseTracker() *ReuseTracker {
+	return &ReuseTracker{lastSeen: make(map[uint64]uint64), counts: make(map[uint64]uint64)}
+}
+
+// Touch records a request for page v.
+func (r *ReuseTracker) Touch(v uint64) {
+	if last, seen := r.lastSeen[v]; seen {
+		r.Distances.Add(r.index - last)
+	}
+	r.lastSeen[v] = r.index
+	r.counts[v]++
+	r.index++
+}
+
+// Requests returns the total touches recorded.
+func (r *ReuseTracker) Requests() uint64 { return r.index }
+
+// UniquePages returns how many distinct pages were touched.
+func (r *ReuseTracker) UniquePages() int { return len(r.counts) }
+
+// CountHistogram builds the Fig 6 distribution: how many pages were
+// requested exactly once, 2-3 times, 4-7 times, and so on (log2 buckets).
+func (r *ReuseTracker) CountHistogram() *Histogram {
+	var h Histogram
+	for _, c := range r.counts {
+		h.Add(c)
+	}
+	return &h
+}
+
+// SingleTouchFraction returns the fraction of pages requested exactly once —
+// near 1.0 for AES/RELU per O3, low for BT/FWT.
+func (r *ReuseTracker) SingleTouchFraction() float64 {
+	if len(r.counts) == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range r.counts {
+		if c == 1 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.counts))
+}
+
+// SpatialTracker measures the virtual-page distance between each translation
+// request and the next one in the stream (Fig 8, O4).
+type SpatialTracker struct {
+	prev    uint64
+	started bool
+
+	Distances Histogram
+}
+
+// Touch records the next requested page.
+func (s *SpatialTracker) Touch(v uint64) {
+	if s.started {
+		d := v - s.prev
+		if s.prev > v {
+			d = s.prev - v
+		}
+		s.Distances.Add(d)
+	}
+	s.prev = v
+	s.started = true
+}
+
+// FractionWithin returns the fraction of consecutive request pairs whose
+// pages lie within dist pages of each other (the Fig 8 bars: within 1, 2,
+// 4 pages).
+func (s *SpatialTracker) FractionWithin(dist uint64) float64 {
+	return s.Distances.FractionAtMost(dist)
+}
+
+// BreakdownAccumulator aggregates per-request latency components for Fig 3:
+// pre-queue wait, PTW-queue wait, and the walk itself.
+type BreakdownAccumulator struct {
+	PreQueue float64
+	PTWQueue float64
+	Walk     float64
+	Requests uint64
+}
+
+// Add records one request's three components, in cycles.
+func (b *BreakdownAccumulator) Add(pre, queue, walk uint64) {
+	b.PreQueue += float64(pre)
+	b.PTWQueue += float64(queue)
+	b.Walk += float64(walk)
+	b.Requests++
+}
+
+// Means returns the average of each component.
+func (b *BreakdownAccumulator) Means() (pre, queue, walk float64) {
+	if b.Requests == 0 {
+		return 0, 0, 0
+	}
+	n := float64(b.Requests)
+	return b.PreQueue / n, b.PTWQueue / n, b.Walk / n
+}
+
+// Percentages returns each component as a share of the mean total.
+func (b *BreakdownAccumulator) Percentages() (pre, queue, walk float64) {
+	p, q, w := b.Means()
+	tot := p + q + w
+	if tot == 0 {
+		return 0, 0, 0
+	}
+	return 100 * p / tot, 100 * q / tot, 100 * w / tot
+}

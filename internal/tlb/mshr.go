@@ -1,0 +1,68 @@
+package tlb
+
+import "hdpat/internal/vm"
+
+// MSHR is a miss-status holding register file: it tracks outstanding misses
+// so that concurrent requests for the same page coalesce into one downstream
+// request, and it bounds miss-level parallelism — when all registers are
+// occupied, further misses stall, the behaviour that motivates the
+// redirection table's advantage over an IOMMU-side TLB (§V-E, Fig 19).
+type MSHR struct {
+	cap     int
+	pending map[Key][]func(vm.PTE, bool)
+
+	// Stats
+	Allocated uint64
+	Merged    uint64
+	Stalled   uint64
+	PeakUsed  int
+}
+
+// NewMSHR creates a file with capacity registers.
+func NewMSHR(capacity int) *MSHR {
+	return &MSHR{cap: capacity, pending: make(map[Key][]func(vm.PTE, bool))}
+}
+
+// Capacity returns the register count.
+func (m *MSHR) Capacity() int { return m.cap }
+
+// Used returns the number of occupied registers.
+func (m *MSHR) Used() int { return len(m.pending) }
+
+// Allocate registers a miss on k with completion callback cb.
+//
+//	primary=true  — a new register was allocated; the caller must issue the
+//	                downstream request and later call Complete.
+//	primary=false, ok=true — merged into an existing register; cb fires when
+//	                the primary completes, no downstream request needed.
+//	ok=false      — MSHR file full; the miss must stall and retry.
+func (m *MSHR) Allocate(k Key, cb func(vm.PTE, bool)) (primary, ok bool) {
+	if cbs, exists := m.pending[k]; exists {
+		m.pending[k] = append(cbs, cb)
+		m.Merged++
+		return false, true
+	}
+	if len(m.pending) >= m.cap {
+		m.Stalled++
+		return false, false
+	}
+	m.pending[k] = []func(vm.PTE, bool){cb}
+	m.Allocated++
+	if len(m.pending) > m.PeakUsed {
+		m.PeakUsed = len(m.pending)
+	}
+	return true, true
+}
+
+// Complete resolves the register for k, invoking every merged callback with
+// the outcome. Unknown keys are ignored (the register may have been flushed).
+func (m *MSHR) Complete(k Key, pte vm.PTE, found bool) {
+	cbs := m.pending[k]
+	delete(m.pending, k)
+	for _, cb := range cbs {
+		cb(pte, found)
+	}
+}
+
+// Waiters returns how many callbacks (primary + merged) wait on k.
+func (m *MSHR) Waiters(k Key) int { return len(m.pending[k]) }

@@ -1,0 +1,397 @@
+// Package wafer assembles a complete simulated system — mesh, GPMs, IOMMU,
+// placement, translation scheme, workload traces — runs it to completion
+// and returns a Result with everything the evaluation figures need.
+package wafer
+
+import (
+	"fmt"
+
+	"hdpat/internal/config"
+	"hdpat/internal/core"
+	"hdpat/internal/geom"
+	"hdpat/internal/gpm"
+	"hdpat/internal/iommu"
+	"hdpat/internal/migrate"
+	"hdpat/internal/noc"
+	"hdpat/internal/schemes"
+	"hdpat/internal/sim"
+	"hdpat/internal/stats"
+	"hdpat/internal/tlb"
+	"hdpat/internal/vm"
+	"hdpat/internal/workload"
+	"hdpat/internal/xlat"
+)
+
+// SchemeNames lists every runnable scheme.
+func SchemeNames() []string {
+	return []string{
+		"baseline", "route", "concentric", "distributed", "cluster",
+		"redirect", "prefetch", "hdpat", "transfw", "valkyrie", "barre",
+		"iommutlb", "ownerfw",
+	}
+}
+
+// ConfigFor returns base with its IOMMU configured as the named scheme
+// requires (redirection table, revisit, prefetch degree). Callers may
+// further override individual fields afterwards (sensitivity sweeps).
+func ConfigFor(scheme string, base config.System) (config.System, error) {
+	io := base.IOMMU
+	io.RedirectEntries = 0
+	io.Revisit = false
+	io.PrefetchDegree = 1
+	io.UseTLB = false
+	switch scheme {
+	case "baseline", "route", "concentric", "distributed", "cluster", "valkyrie", "ownerfw":
+	case "transfw":
+		// Remote forwarding short-circuits the cross-wafer pointer chases
+		// of the walk's leaf levels (see schemes.TransFW).
+		io.WalkCycles = io.WalkCycles * 3 / 5
+	case "barre":
+		io.Revisit = true
+	case "redirect":
+		io.RedirectEntries = 1024
+		io.Revisit = true
+	case "prefetch":
+		io.PrefetchDegree = 4
+	case "hdpat":
+		io.RedirectEntries = 1024
+		io.Revisit = true
+		io.PrefetchDegree = 4
+	case "iommutlb":
+		io.UseTLB = true
+		io.Revisit = true
+		io.PrefetchDegree = 4
+	default:
+		return base, fmt.Errorf("wafer: unknown scheme %q", scheme)
+	}
+	base.IOMMU = io
+	return base, nil
+}
+
+// Options parameterise one run.
+type Options struct {
+	Scheme    string
+	Benchmark workload.Benchmark
+	// OpsBudget is the approximate per-CU operation count (default 96).
+	OpsBudget int
+	Seed      int64
+	// MaxCycles aborts runaway simulations (default 200M cycles).
+	MaxCycles sim.VTime
+	// QueueWindow, when nonzero, attaches a max-depth IOMMU queue series
+	// with this window (Fig 4).
+	QueueWindow uint64
+	// ServedWindow, when nonzero, attaches a count series of IOMMU-arriving
+	// requests with this window (Fig 13).
+	ServedWindow uint64
+	// Observer, when set, sees every request arriving at the IOMMU
+	// (characterisation figures attach trackers).
+	Observer func(now sim.VTime, req *xlat.Request)
+	// Validate cross-checks every remote translation result against the
+	// global page table and records mismatches in Result.ValidationErrors.
+	// Intended for tests; adds a lookup per remote translation. Do not
+	// combine with Migration: in-flight completions legitimately race the
+	// table repoint.
+	Validate bool
+	// Migration, when non-nil, enables the page-migration extension with
+	// the given policy (see internal/migrate).
+	Migration *migrate.Config
+}
+
+// Result is everything a run produces.
+type Result struct {
+	Scheme    string
+	Benchmark string
+	Cycles    sim.VTime
+
+	GPMCoords []geom.Coord
+	GPMFinish []sim.VTime
+	GPMStats  []gpm.Stats
+
+	IOMMU iommu.Stats
+	NoC   noc.Stats
+
+	QueueSeries  *stats.TimeSeries
+	ServedSeries *stats.TimeSeries
+
+	TotalOps uint64
+
+	// AuxLen and AuxStats aggregate the auxiliary caches across GPMs at the
+	// end of the run (diagnostics).
+	AuxLen   int
+	AuxStats tlb.Stats
+
+	// ValidationErrors holds translation-correctness violations found when
+	// Options.Validate is set (nil/empty means every remote translation
+	// returned the frame the global page table maps).
+	ValidationErrors []string
+
+	// Migration reports page-migration activity when the extension is on.
+	Migration migrate.Stats
+}
+
+// RemoteBySource aggregates per-source remote translation counts.
+func (r Result) RemoteBySource() [xlat.NumSources]uint64 {
+	var out [xlat.NumSources]uint64
+	for i := range r.GPMStats {
+		for s := 0; s < xlat.NumSources; s++ {
+			out[s] += r.GPMStats[i].RemoteBySource[s]
+		}
+	}
+	return out
+}
+
+// RemoteRequests returns total remote translation requests.
+func (r Result) RemoteRequests() uint64 {
+	var n uint64
+	for i := range r.GPMStats {
+		n += r.GPMStats[i].RemoteRequests
+	}
+	return n
+}
+
+// OffloadFraction returns the share of remote translations served without
+// an IOMMU walk (the paper's 42.1 % metric).
+func (r Result) OffloadFraction() float64 {
+	by := r.RemoteBySource()
+	var off, tot uint64
+	for s := 0; s < xlat.NumSources; s++ {
+		tot += by[s]
+		if xlat.Source(s).Offloaded() {
+			off += by[s]
+		}
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(off) / float64(tot)
+}
+
+// AvgRemoteLatency returns the mean remote translation round-trip in cycles
+// (Fig 17).
+func (r Result) AvgRemoteLatency() float64 {
+	var sum, n uint64
+	for i := range r.GPMStats {
+		sum += r.GPMStats[i].RemoteLatencySum
+		n += r.GPMStats[i].RemoteRequests
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Speedup returns base.Cycles / r.Cycles.
+func (r Result) Speedup(base Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// Run builds and executes one simulation.
+func Run(cfg config.System, opts Options) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	// Keep footprint:capacity ratios at their Table II values (see
+	// config.ApplyScale).
+	cfg = cfg.ApplyScale()
+	if opts.OpsBudget <= 0 {
+		opts.OpsBudget = 96
+	}
+	if opts.MaxCycles == 0 {
+		opts.MaxCycles = 200_000_000
+	}
+	if opts.Scheme == "" {
+		opts.Scheme = "baseline"
+	}
+
+	eng := sim.NewEngine()
+	mesh := geom.NewMesh(cfg.MeshW, cfg.MeshH)
+	layout := geom.NewLayout(mesh)
+	network := noc.New(eng, mesh, cfg.NoC)
+	numGPMs := mesh.NumGPMs()
+
+	placement := vm.NewPlacement(numGPMs, cfg.PageSize)
+	regions := map[string]vm.Region{}
+	for _, rs := range opts.Benchmark.Regions(cfg.WorkloadScale, numGPMs, cfg.PageSize) {
+		regions[rs.Name] = placement.Alloc(rs.Name, rs.Pages, 0)
+	}
+
+	// Build GPMs.
+	gpms := make([]*gpm.GPM, numGPMs)
+	for i, c := range mesh.GPMs() {
+		gpms[i] = gpm.New(eng, i, c, cfg.GPM, cfg.PageSize, placement.Local(i))
+		// Seed the cuckoo filter with the GPM's local pages.
+		var vpns []vm.VPN
+		for _, r := range regions {
+			lo, hi := r.OwnerSlice(i, numGPMs)
+			for p := lo; p < hi; p++ {
+				vpns = append(vpns, r.Start+vm.VPN(p))
+			}
+		}
+		gpms[i].ReseedFilter(0, vpns)
+	}
+
+	io := iommu.New(eng, cfg.IOMMU, mesh.CPU, network, placement.Global())
+	io.GPMCoord = func(id int) geom.Coord { return gpms[id].Coord }
+	if opts.QueueWindow > 0 {
+		io.QueueSeries = stats.NewMaxSeries(opts.QueueWindow)
+	}
+	var served *stats.TimeSeries
+	if opts.ServedWindow > 0 {
+		served = stats.NewCountSeries(opts.ServedWindow)
+	}
+	if opts.Observer != nil || served != nil {
+		obs := opts.Observer
+		io.Observer = func(now sim.VTime, req *xlat.Request) {
+			if served != nil {
+				served.Record(uint64(now), 1)
+			}
+			if obs != nil {
+				obs(now, req)
+			}
+		}
+	}
+
+	fabric := &core.Fabric{
+		Eng: eng, Mesh: network, Layout: layout,
+		GPMs: gpms, IOMMU: io, Placement: placement,
+	}
+	fabric.Finish()
+
+	scheme, err := buildScheme(opts.Scheme, fabric, cfg.HDPAT)
+	if err != nil {
+		return Result{}, err
+	}
+	var validationErrs []string
+	if opts.Validate {
+		scheme = &checkedScheme{inner: scheme, global: placement.Global(), errs: &validationErrs}
+	}
+	var migrator *migrate.Manager
+	if opts.Migration != nil {
+		migrator = migrate.New(fabric, *opts.Migration)
+		scheme = migrator.Wrap(scheme)
+	}
+
+	// Wire GPMs.
+	var reqID uint64
+	nextID := func() uint64 { reqID++; return reqID }
+	for _, g := range gpms {
+		g := g
+		g.Remote = scheme
+		g.NextReqID = nextID
+		g.FetchRemote = func(owner int, line uint64, done func()) {
+			oc := gpms[owner].Coord
+			network.Send(g.Coord, oc, xlat.DataReqBytes, func() {
+				gpms[owner].ServeLine(line, func() {
+					network.Send(oc, g.Coord, xlat.DataRespBytes, done)
+				})
+			})
+		}
+	}
+
+	// Load traces and start.
+	var totalOps uint64
+	for i, g := range gpms {
+		for cu := 0; cu < cfg.GPM.NumCUs; cu++ {
+			tr := opts.Benchmark.Trace(workload.Context{
+				Regions: regions, PageSize: cfg.PageSize,
+				GPM: i, NumGPMs: numGPMs, CU: cu, NumCUs: cfg.GPM.NumCUs,
+				OpsBudget: opts.OpsBudget, Seed: opts.Seed,
+			})
+			totalOps += uint64(len(tr))
+			g.LoadTrace(cu, tr)
+		}
+	}
+	finished := 0
+	for _, g := range gpms {
+		g.Start(sim.VTime(opts.Benchmark.Gap), func(int, sim.VTime) { finished++ })
+	}
+
+	eng.RunUntil(opts.MaxCycles)
+	var runErr error
+	if finished < numGPMs {
+		runErr = fmt.Errorf("wafer: %s/%s finished %d/%d GPMs by cycle limit %d",
+			opts.Scheme, opts.Benchmark.Abbr, finished, numGPMs, opts.MaxCycles)
+	} else {
+		// Drain stragglers (late miss responses etc.) for accurate NoC stats.
+		eng.Run()
+	}
+
+	res := Result{
+		Scheme: scheme.Name(), Benchmark: opts.Benchmark.Abbr,
+		IOMMU: io.Stats, NoC: network.Stats,
+		QueueSeries: io.QueueSeries, ServedSeries: served,
+		TotalOps:         totalOps,
+		ValidationErrors: validationErrs,
+	}
+	if migrator != nil {
+		res.Migration = migrator.Stats
+	}
+	for _, g := range gpms {
+		res.AuxLen += g.Aux().Len()
+		as := g.Aux().Stats()
+		res.AuxStats.Hits += as.Hits
+		res.AuxStats.Misses += as.Misses
+		res.AuxStats.Fills += as.Fills
+		res.AuxStats.Evictions += as.Evictions
+		res.GPMCoords = append(res.GPMCoords, g.Coord)
+		res.GPMFinish = append(res.GPMFinish, g.Stats.FinishTime)
+		res.GPMStats = append(res.GPMStats, g.Stats)
+		if g.Stats.FinishTime > res.Cycles {
+			res.Cycles = g.Stats.FinishTime
+		}
+	}
+	return res, runErr
+}
+
+// checkedScheme wraps a translator, asserting that every completion carries
+// the frame number the global page table maps for the requested page.
+type checkedScheme struct {
+	inner  xlat.RemoteTranslator
+	global *vm.PageTable
+	errs   *[]string
+}
+
+func (c *checkedScheme) Name() string { return c.inner.Name() }
+
+func (c *checkedScheme) Translate(req *xlat.Request) {
+	proxy := xlat.NewRequest(req.ID, req.PID, req.VPN, req.Requester, req.Issued, func(res xlat.Result) {
+		want, _, ok := c.global.Lookup(req.VPN)
+		if !ok {
+			*c.errs = append(*c.errs, fmt.Sprintf("vpn %#x: completed but unmapped", uint64(req.VPN)))
+		} else if want.PFN != res.PTE.PFN {
+			*c.errs = append(*c.errs, fmt.Sprintf("vpn %#x: pfn %#x from %v, want %#x",
+				uint64(req.VPN), uint64(res.PTE.PFN), res.Source, uint64(want.PFN)))
+		}
+		req.Complete(res)
+	})
+	c.inner.Translate(proxy)
+}
+
+func buildScheme(name string, f *core.Fabric, h config.HDPAT) (xlat.RemoteTranslator, error) {
+	switch name {
+	case "baseline":
+		return schemes.NewNaive(f), nil
+	case "barre":
+		return schemes.NewBarre(f), nil
+	case "transfw":
+		return schemes.NewTransFW(f), nil
+	case "ownerfw":
+		return schemes.NewOwnerFW(f), nil
+	case "valkyrie":
+		return schemes.NewValkyrie(f), nil
+	case "route":
+		return core.NewRoute(f, h), nil
+	case "concentric":
+		return core.NewConcentric(f, h), nil
+	case "distributed":
+		return core.NewDistributed(f, h), nil
+	case "cluster", "redirect", "prefetch", "hdpat", "iommutlb":
+		return core.NewHDPAT(f, h), nil
+	}
+	return nil, fmt.Errorf("wafer: unknown scheme %q", name)
+}
+
+// auxProbe is a debugging aggregate filled at the end of Run.

@@ -1,0 +1,126 @@
+// Package workload implements the 14 Table II benchmarks as synthetic
+// memory-access generators. Real GCN3 kernels are unavailable, so each
+// generator reproduces the access pattern the paper attributes to its
+// benchmark (random, partitioned, adjacent, scatter-gather, butterfly,
+// sliding-window, shared-hot-page): the characterisation harnesses for
+// Figs 6-8 verify the streams land in the regimes the paper reports.
+//
+// A benchmark declares the memory regions it needs (scaled-down Table II
+// footprints) and produces, per CU, a deterministic finite trace of virtual
+// addresses. The driver model (§II-A) partitions both data and threads
+// evenly across GPMs, so generators receive their GPM/CU position and the
+// region ownership arithmetic.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hdpat/internal/vm"
+)
+
+// RegionSpec names a memory region and its size in pages (already scaled).
+type RegionSpec struct {
+	Name  string
+	Pages int
+}
+
+// Context gives a generator everything it needs to produce one CU's trace.
+type Context struct {
+	Regions  map[string]vm.Region
+	PageSize vm.PageSize
+	GPM      int
+	NumGPMs  int
+	CU       int
+	NumCUs   int
+	// OpsBudget is the approximate number of operations this CU should
+	// issue; generators size their patterns to land near it.
+	OpsBudget int
+	Seed      int64
+}
+
+func (c Context) rng() *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed ^ int64(c.GPM)<<20 ^ int64(c.CU)<<8))
+}
+
+// globalCU returns this CU's index across the whole wafer.
+func (c Context) globalCU() int { return c.GPM*c.NumCUs + c.CU }
+
+// totalCUs returns the wafer-wide CU count.
+func (c Context) totalCUs() int { return c.NumGPMs * c.NumCUs }
+
+// Benchmark is one Table II workload.
+type Benchmark struct {
+	Abbr string
+	Name string
+	// Workgroups and FootprintMB record the unscaled Table II values.
+	Workgroups  int
+	FootprintMB int
+	// Gap is the average cycle count between issue slots per CU: low for
+	// memory-bound kernels, high for compute-iterative ones (AES).
+	Gap int
+	// Pattern is the qualitative label used in docs and tests.
+	Pattern string
+
+	regions func(pages int, ctx sizing) []RegionSpec
+	trace   func(ctx Context) []vm.VAddr
+}
+
+type sizing struct {
+	numGPMs int
+}
+
+// Regions returns the scaled region list. scale divides the Table II
+// footprint; the result is clamped so each GPM owns at least one page of
+// the main region.
+func (b Benchmark) Regions(scale, numGPMs int, ps vm.PageSize) []RegionSpec {
+	total := int(int64(b.FootprintMB) * (1 << 20) / int64(ps) / int64(scale))
+	if total < numGPMs {
+		total = numGPMs
+	}
+	return b.regions(total, sizing{numGPMs: numGPMs})
+}
+
+// Trace produces the address trace for one CU.
+func (b Benchmark) Trace(ctx Context) []vm.VAddr { return b.trace(ctx) }
+
+// ByAbbr resolves a benchmark by its Table II abbreviation.
+func ByAbbr(abbr string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Abbr == abbr {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", abbr)
+}
+
+// Names lists all benchmark abbreviations in Table II order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, b := range all {
+		out[i] = b.Abbr
+	}
+	return out
+}
+
+// Custom builds a user-defined benchmark from a region list and a per-CU
+// trace generator — the entry point for workloads outside the Table II
+// suite. Footprint accounting uses the region pages directly (FootprintMB
+// is informational).
+func Custom(abbr, name string, gap int, regions []RegionSpec, trace func(ctx Context) []vm.VAddr) Benchmark {
+	pages := 0
+	for _, r := range regions {
+		pages += r.Pages
+	}
+	return Benchmark{
+		Abbr: abbr, Name: name, Gap: gap, Pattern: "custom",
+		FootprintMB: pages * 4096 >> 20,
+		regions: func(_ int, _ sizing) []RegionSpec {
+			out := make([]RegionSpec, len(regions))
+			copy(out, regions)
+			return out
+		},
+		trace: trace,
+	}
+}

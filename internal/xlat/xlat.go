@@ -1,0 +1,144 @@
+// Package xlat defines the types shared between the GPM, IOMMU and the
+// translation schemes: the remote translation request, its completion
+// result, the taxonomy of "who served this translation" used by Fig 16, and
+// the wire-message size constants charged against the mesh.
+package xlat
+
+import (
+	"hdpat/internal/sim"
+	"hdpat/internal/vm"
+)
+
+// Message sizes in bytes, charged against NoC bandwidth. A translation
+// request carries a VPN plus routing metadata; a response carries a PTE;
+// pushes batch one PTE per entry. Data traffic moves whole cachelines.
+const (
+	ReqBytes      = 16
+	RespBytes     = 16
+	MissRespBytes = 8
+	PushPTEBytes  = 16
+	DataReqBytes  = 16
+	DataRespBytes = 72 // 64 B line + header
+)
+
+// Source says which mechanism ultimately produced a translation, the
+// categories of the Fig 16 breakdown.
+type Source int
+
+const (
+	// SourceIOMMU: resolved by an IOMMU page-table walk (including walks
+	// whose response was batched by the PW-queue revisit).
+	SourceIOMMU Source = iota
+	// SourcePeer: hit in an auxiliary GPM cache reached by the concentric
+	// probe, where the entry had been installed by a demand push.
+	SourcePeer
+	// SourceProactive: hit on an entry that reached its location via
+	// proactive page-entry delivery (prefetch).
+	SourceProactive
+	// SourceRedirect: served via the IOMMU redirection table pointing the
+	// request at a peer GPM.
+	SourceRedirect
+	// SourceOwner: served by the page owner's GMMU (Trans-FW).
+	SourceOwner
+	// SourceNeighbor: served by a mesh neighbour's L2 TLB (Valkyrie).
+	SourceNeighbor
+	// SourceRoute: served by an intermediate GPM on the route toward the
+	// IOMMU (route-based caching ablation).
+	SourceRoute
+
+	numSources
+)
+
+// NumSources is the number of distinct Source values.
+const NumSources = int(numSources)
+
+var sourceNames = [...]string{
+	"iommu", "peer", "proactive", "redirect", "owner", "neighbor", "route",
+}
+
+func (s Source) String() string {
+	if int(s) < len(sourceNames) {
+		return sourceNames[s]
+	}
+	return "unknown"
+}
+
+// Offloaded reports whether the source counts as offloaded from the IOMMU
+// walker path (the paper's 42.1 % claim counts everything except walks).
+func (s Source) Offloaded() bool { return s != SourceIOMMU }
+
+// Result is the outcome of a remote translation.
+type Result struct {
+	PTE    vm.PTE
+	Source Source
+}
+
+// Request is one remote translation request: a GPM failed to translate VPN
+// locally and asks the active scheme to resolve it. Exactly one Complete
+// call wins; late responses (a concurrent layer probe losing the race, a
+// stale IOMMU response after a peer hit) are dropped, mirroring how the
+// requesting GMMU's MSHR entry is freed by the first fill.
+type Request struct {
+	ID        uint64
+	PID       vm.PID
+	VPN       vm.VPN
+	Requester int // GPM index
+	Issued    sim.VTime
+
+	done      func(Result)
+	completed bool
+
+	// Attempt counts translation lookups performed on behalf of this
+	// request before resolution (peer probes, walk), for diagnostics.
+	Attempt int
+}
+
+// NewRequest builds a request; done is invoked exactly once at completion.
+func NewRequest(id uint64, pid vm.PID, vpn vm.VPN, requester int, issued sim.VTime, done func(Result)) *Request {
+	return &Request{ID: id, PID: pid, VPN: vpn, Requester: requester, Issued: issued, done: done}
+}
+
+// Complete delivers the result; only the first call has effect.
+// It reports whether this call was the winning one.
+func (r *Request) Complete(res Result) bool {
+	if r.completed {
+		return false
+	}
+	r.completed = true
+	r.done(res)
+	return true
+}
+
+// Completed reports whether a result was already delivered.
+func (r *Request) Completed() bool { return r.completed }
+
+// RemoteTranslator is a translation scheme: the strategy a GPM invokes when
+// a virtual page cannot be translated locally. Implementations are the
+// baseline (straight to the IOMMU), HDPAT and its ablations, and the
+// Trans-FW / Valkyrie / Barre comparators.
+type RemoteTranslator interface {
+	// Name identifies the scheme in results tables.
+	Name() string
+	// Translate resolves req, eventually calling req.Complete.
+	Translate(req *Request)
+}
+
+// PushOrigin distinguishes how a PTE reached an auxiliary cache, so a later
+// hit can be attributed to peer caching vs proactive delivery (Fig 16).
+type PushOrigin int
+
+const (
+	// PushDemand: pushed after a demand walk whose access count crossed
+	// the selective-caching threshold.
+	PushDemand PushOrigin = iota
+	// PushPrefetch: delivered proactively for a not-yet-requested VPN.
+	PushPrefetch
+)
+
+// SourceOf maps a push origin to the serving source it produces on a hit.
+func (o PushOrigin) SourceOf() Source {
+	if o == PushPrefetch {
+		return SourceProactive
+	}
+	return SourcePeer
+}

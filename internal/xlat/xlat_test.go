@@ -1,0 +1,61 @@
+package xlat
+
+import (
+	"testing"
+
+	"hdpat/internal/vm"
+)
+
+func TestRequestCompleteOnce(t *testing.T) {
+	calls := 0
+	var got Result
+	r := NewRequest(1, 0, 42, 3, 100, func(res Result) { calls++; got = res })
+	if r.Completed() {
+		t.Fatal("new request already completed")
+	}
+	first := r.Complete(Result{PTE: vm.PTE{PFN: 7}, Source: SourcePeer})
+	second := r.Complete(Result{PTE: vm.PTE{PFN: 9}, Source: SourceIOMMU})
+	if !first || second {
+		t.Fatalf("first=%v second=%v; want true,false", first, second)
+	}
+	if calls != 1 || got.PTE.PFN != 7 || got.Source != SourcePeer {
+		t.Fatalf("calls=%d got=%+v", calls, got)
+	}
+	if !r.Completed() {
+		t.Error("Completed() false after completion")
+	}
+}
+
+func TestSourceNames(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Source(0); int(s) < NumSources; s++ {
+		n := s.String()
+		if n == "" || n == "unknown" || seen[n] {
+			t.Errorf("source %d has bad name %q", s, n)
+		}
+		seen[n] = true
+	}
+	if Source(99).String() != "unknown" {
+		t.Error("out-of-range source should be unknown")
+	}
+}
+
+func TestOffloaded(t *testing.T) {
+	if SourceIOMMU.Offloaded() {
+		t.Error("IOMMU walks are not offloaded")
+	}
+	for _, s := range []Source{SourcePeer, SourceProactive, SourceRedirect, SourceOwner, SourceNeighbor, SourceRoute} {
+		if !s.Offloaded() {
+			t.Errorf("%v should count as offloaded", s)
+		}
+	}
+}
+
+func TestPushOriginSource(t *testing.T) {
+	if PushDemand.SourceOf() != SourcePeer {
+		t.Error("demand push should surface as peer caching")
+	}
+	if PushPrefetch.SourceOf() != SourceProactive {
+		t.Error("prefetch push should surface as proactive delivery")
+	}
+}
