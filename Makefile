@@ -1,0 +1,27 @@
+# Tier-1 verification lives behind `make check`: vet plus the full test
+# suite under the race detector, which guards the parallel batch engine
+# (internal/runner, hdpat.RunBatch, the experiments warm-up phase) against
+# data races.
+
+GO ?= go
+
+.PHONY: build test race vet check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: vet race
+
+# One iteration of every paper-artifact benchmark plus the batch-engine
+# serial/parallel comparison.
+bench:
+	$(GO) test -bench=. -benchtime 1x

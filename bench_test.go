@@ -3,12 +3,22 @@
 // benchmark set (the quick subset, small ops budgets) so `go test -bench=.`
 // exercises every experiment end to end; `cmd/experiments` produces the
 // full-size tables. Headline metrics are attached via b.ReportMetric.
+//
+// The experiments harness and hdpat.RunBatch fan simulations across worker
+// goroutines, so tier-1 verification must include the race detector:
+// `make check` (go vet ./... && go test -race ./...) is the canonical gate,
+// and `go test -race -bench=BenchmarkBatch -benchtime 1x` exercises the
+// parallel path under it. BenchmarkBatch3x3{Serial,Parallel} measure the
+// batch engine itself — on >= 4 cores the parallel run of the 3 schemes x 3
+// benchmarks batch should be well over 1.5x faster than the serial one.
 package hdpat_test
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
+	"hdpat"
 	"hdpat/internal/experiments"
 )
 
@@ -67,3 +77,47 @@ func BenchmarkFig20PageSize(b *testing.B)       { runExperiment(b, "fig20") }
 func BenchmarkFig21GPUConfigs(b *testing.B)     { runExperiment(b, "fig21") }
 func BenchmarkFig22Wafer7x12(b *testing.B)      { runExperiment(b, "fig22") }
 func BenchmarkAreaPower(b *testing.B)           { runExperiment(b, "area") }
+
+// benchBatchSpecs is the acceptance batch: 3 schemes x 3 benchmarks on the
+// default 7x7 wafer.
+func benchBatchSpecs() []hdpat.RunSpec {
+	var specs []hdpat.RunSpec
+	for _, scheme := range []string{"baseline", "transfw", "hdpat"} {
+		for _, bench := range []string{"PR", "KM", "FIR"} {
+			specs = append(specs, hdpat.RunSpec{Scheme: scheme, Benchmark: bench, OpsBudget: 48, Seed: 1})
+		}
+	}
+	return specs
+}
+
+// runBatchBench executes the acceptance batch with the given worker count
+// and reports total simulated cycles as the headline.
+func runBatchBench(b *testing.B, workers int) {
+	b.Helper()
+	cfg := hdpat.DefaultConfig()
+	specs := benchBatchSpecs()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		runs, err := hdpat.RunBatch(context.Background(), cfg, specs, hdpat.WithWorkers(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = 0
+		for _, r := range runs {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			cycles += uint64(r.Result.Cycles)
+		}
+	}
+	b.ReportMetric(float64(cycles), "simcycles")
+}
+
+// BenchmarkBatch3x3Serial and BenchmarkBatch3x3Parallel compare the batch
+// engine against serial execution of the same specs. Compare with:
+//
+//	go test -bench 'BenchmarkBatch3x3' -benchtime 3x
+//
+// On >= 4 cores the parallel variant should beat serial by well over 1.5x.
+func BenchmarkBatch3x3Serial(b *testing.B)   { runBatchBench(b, 1) }
+func BenchmarkBatch3x3Parallel(b *testing.B) { runBatchBench(b, 0) }

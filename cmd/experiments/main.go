@@ -3,6 +3,7 @@
 // Usage:
 //
 //	experiments [-run id[,id...]] [-quick] [-budget N] [-seed N] [-bench A,B]
+//	            [-workers N]
 //
 // Without -run it executes every experiment in paper order. Use -list to
 // see the available ids.
@@ -26,6 +27,7 @@ func main() {
 	budget := flag.Int("budget", 0, "per-CU operation budget override")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	bench := flag.String("bench", "", "comma-separated benchmark subset")
+	workers := flag.Int("workers", 0, "parallel simulations per experiment (0 = GOMAXPROCS, 1 = serial)")
 	asJSON := flag.Bool("json", false, "emit results as a JSON array")
 	asCSV := flag.Bool("csv", false, "emit results as CSV blocks")
 	flag.Parse()
@@ -37,7 +39,7 @@ func main() {
 		return
 	}
 
-	p := experiments.Params{Quick: *quick, OpsBudget: *budget, Seed: *seed}
+	p := experiments.Params{Quick: *quick, OpsBudget: *budget, Seed: *seed, Workers: *workers}
 	if *bench != "" {
 		p.Benchmarks = strings.Split(*bench, ",")
 	}

@@ -2,9 +2,13 @@
 // concentric caching, the distributed-caching baseline, clustering+rotation,
 // the redirection table and proactive delivery — on three contrasting
 // benchmarks, showing how each mechanism contributes.
+//
+// The whole 7x3 grid (plus one shared baseline per benchmark) executes as a
+// single parallel batch via hdpat.CompareAll.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,30 +20,28 @@ func main() {
 	benchmarks := []string{"PR", "FIR", "MT"} // best case, prefetch-friendly, worst case
 	ladder := []string{"route", "concentric", "distributed", "cluster", "redirect", "prefetch", "hdpat"}
 
+	cmp, err := hdpat.CompareAll(context.Background(), cfg, ladder, benchmarks,
+		hdpat.WithOpsBudget(64), hdpat.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// cmp is benchmark-major: cell (benchmarks[i], ladder[j]) at i*len(ladder)+j.
+	cell := func(bi, si int) hdpat.ComparisonResult { return cmp[bi*len(ladder)+si] }
+
 	fmt.Printf("%-12s", "scheme")
 	for _, b := range benchmarks {
 		fmt.Printf("%8s", b)
 	}
 	fmt.Println("   (speedup vs baseline)")
 
-	// One baseline run per benchmark, reused across the ladder.
-	bases := map[string]hdpat.Result{}
-	for _, b := range benchmarks {
-		res, err := hdpat.Simulate(cfg, hdpat.RunSpec{Scheme: "baseline", Benchmark: b, OpsBudget: 64, Seed: 1})
-		if err != nil {
-			log.Fatal(err)
-		}
-		bases[b] = res
-	}
-
-	for _, scheme := range ladder {
+	for si, scheme := range ladder {
 		fmt.Printf("%-12s", scheme)
-		for _, b := range benchmarks {
-			res, err := hdpat.Simulate(cfg, hdpat.RunSpec{Scheme: scheme, Benchmark: b, OpsBudget: 64, Seed: 1})
-			if err != nil {
-				log.Fatal(err)
+		for bi := range benchmarks {
+			c := cell(bi, si)
+			if c.Err != nil {
+				log.Fatal(c.Err)
 			}
-			fmt.Printf("%8.2f", res.Speedup(bases[b]))
+			fmt.Printf("%8.2f", c.Speedup)
 		}
 		fmt.Println()
 	}

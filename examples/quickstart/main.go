@@ -12,10 +12,12 @@ import (
 func main() {
 	cfg := hdpat.DefaultConfig()
 
-	base, res, speedup, err := hdpat.Compare(cfg, "hdpat", "SPMV", 64, 1)
+	cmp, err := hdpat.Compare(cfg, "hdpat", "SPMV",
+		hdpat.WithOpsBudget(64), hdpat.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
+	base, res := cmp.Baseline, cmp.Result
 
 	fmt.Println("SPMV on a 7x7 wafer-scale GPU (48 GPMs, central IOMMU)")
 	fmt.Printf("  baseline: %8d cycles, %6.0f-cycle avg remote translation\n",
@@ -23,7 +25,7 @@ func main() {
 	fmt.Printf("  HDPAT:    %8d cycles, %6.0f-cycle avg remote translation\n",
 		res.Cycles, res.AvgRemoteLatency())
 	fmt.Printf("  speedup:  %.2fx, offloading %.1f%% of remote translations from the IOMMU\n",
-		speedup, 100*res.OffloadFraction())
+		cmp.Speedup, 100*res.OffloadFraction())
 
 	by := res.RemoteBySource()
 	fmt.Printf("  served by: peer=%d proactive=%d redirect=%d iommu=%d\n",

@@ -2,9 +2,13 @@
 // delivery degree x concentric layer count, the two dials a deployment
 // would actually tune. The paper sweeps degree (Fig 18) and fixes C=2;
 // this example explores the full grid on a prefetch-friendly workload.
+//
+// The 12-cell grid runs as one parallel batch: hdpat.WithPerRun gives each
+// cell its own layer count (WithConfig) and prefetch degree (WithIOMMU).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,31 +16,55 @@ import (
 )
 
 func main() {
+	degrees := []int{1, 2, 4, 8}
+	layers := []int{1, 2, 3}
+
 	base, err := hdpat.Simulate(hdpat.DefaultConfig(),
-		hdpat.RunSpec{Scheme: "baseline", Benchmark: "FIR", OpsBudget: 64, Seed: 1})
+		hdpat.RunSpec{Scheme: "baseline", Benchmark: "FIR"},
+		hdpat.WithOpsBudget(64), hdpat.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One spec per grid cell; the cell's dials are applied per run.
+	type cell struct{ degree, layers int }
+	var cells []cell
+	for _, d := range degrees {
+		for _, c := range layers {
+			cells = append(cells, cell{d, c})
+		}
+	}
+	specs := make([]hdpat.RunSpec, len(cells))
+	for i := range specs {
+		specs[i] = hdpat.RunSpec{Scheme: "hdpat", Benchmark: "FIR"}
+	}
+	runs, err := hdpat.RunBatch(context.Background(), hdpat.DefaultConfig(), specs,
+		hdpat.WithOpsBudget(64), hdpat.WithSeed(1),
+		hdpat.WithPerRun(func(i int) []hdpat.Option {
+			c := cells[i]
+			return []hdpat.Option{
+				hdpat.WithConfig(func(cfg *hdpat.Config) { cfg.HDPAT.Layers = c.layers }),
+				hdpat.WithIOMMU(func(io *hdpat.IOMMUConfig) { io.PrefetchDegree = c.degree }),
+			}
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("FIR speedup vs baseline: proactive-delivery degree x concentric layers")
 	fmt.Printf("%-8s", "degree")
-	for _, layers := range []int{1, 2, 3} {
-		fmt.Printf("   C=%d  ", layers)
+	for _, c := range layers {
+		fmt.Printf("   C=%d  ", c)
 	}
 	fmt.Println()
-
-	for _, degree := range []int{1, 2, 4, 8} {
-		fmt.Printf("%-8d", degree)
-		for _, layers := range []int{1, 2, 3} {
-			cfg := hdpat.DefaultConfig()
-			cfg.HDPAT.Layers = layers
-			res, err := hdpat.SimulateWithIOMMU(cfg,
-				hdpat.RunSpec{Scheme: "hdpat", Benchmark: "FIR", OpsBudget: 64, Seed: 1},
-				func(io *hdpat.IOMMUConfig) { io.PrefetchDegree = degree })
-			if err != nil {
-				log.Fatal(err)
+	for di, d := range degrees {
+		fmt.Printf("%-8d", d)
+		for li := range layers {
+			run := runs[di*len(layers)+li]
+			if run.Err != nil {
+				log.Fatal(run.Err)
 			}
-			fmt.Printf("%6.2f  ", res.Speedup(base))
+			fmt.Printf("%6.2f  ", run.Result.Speedup(base))
 		}
 		fmt.Println()
 	}

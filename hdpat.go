@@ -11,17 +11,41 @@
 //	res, err := hdpat.Simulate(cfg, hdpat.RunSpec{
 //	    Scheme:    "hdpat",
 //	    Benchmark: "SPMV",
-//	})
+//	}, hdpat.WithSeed(1))
 //	fmt.Println(res.Cycles, res.OffloadFraction())
+//
+// Behaviour is adjusted with functional options (WithIOMMU, WithConfig,
+// WithOpsBudget, WithSeed, ...), and every entry point has a
+// context-carrying form (SimulateContext) that honours cancellation
+// mid-simulation.
+//
+// Independent runs parallelise at the batch level: RunBatch fans a slice of
+// RunSpecs across GOMAXPROCS workers with deterministic, submission-ordered
+// results, and CompareAll evaluates a schemes x benchmarks cross-product
+// against a shared per-benchmark baseline:
+//
+//	cmp, _ := hdpat.CompareAll(ctx, cfg,
+//	    []string{"transfw", "hdpat"}, []string{"SPMV", "PR"},
+//	    hdpat.WithSeed(1))
+//	for _, c := range cmp {
+//	    fmt.Println(c.Scheme, c.Benchmark, c.Speedup)
+//	}
+//
+// Simulations are deterministic: a parallel batch returns results identical
+// to the same specs run serially. Unknown names surface as wrapped sentinel
+// errors (ErrUnknownScheme, ErrUnknownBenchmark) matchable with errors.Is.
 //
 // The cmd/experiments tool regenerates every table and figure of the
 // paper's evaluation on top of this API.
 package hdpat
 
 import (
+	"context"
 	"fmt"
 
 	"hdpat/internal/config"
+	"hdpat/internal/runner"
+	"hdpat/internal/sim"
 	"hdpat/internal/wafer"
 	"hdpat/internal/workload"
 )
@@ -35,6 +59,19 @@ type IOMMUConfig = config.IOMMU
 
 // Result is the outcome of one simulation run.
 type Result = wafer.Result
+
+// PanicError is the error type wrapping a panic recovered from one run of a
+// batch (see RunBatch); inspect it with errors.As.
+type PanicError = runner.PanicError
+
+// Sentinel errors for name resolution, wrapped with the offending name;
+// match them with errors.Is.
+var (
+	// ErrUnknownScheme reports a scheme not listed by Schemes().
+	ErrUnknownScheme = wafer.ErrUnknownScheme
+	// ErrUnknownBenchmark reports a benchmark not listed by Benchmarks().
+	ErrUnknownBenchmark = workload.ErrUnknownBenchmark
+)
 
 // DefaultConfig returns the paper's Table I system: a 7x7 wafer of
 // quarter-MI100 GPMs with a central CPU/IOMMU, 4 KB pages.
@@ -64,13 +101,31 @@ type RunSpec struct {
 
 // Simulate configures the IOMMU for the chosen scheme, runs the benchmark
 // on the configured wafer, and returns the measured result.
-func Simulate(cfg Config, spec RunSpec) (Result, error) {
+func Simulate(cfg Config, spec RunSpec, opts ...Option) (Result, error) {
+	return SimulateContext(context.Background(), cfg, spec, opts...)
+}
+
+// SimulateContext is Simulate with cancellation: the engine checks ctx
+// between slices of the event loop and returns ctx.Err() (and a zero
+// Result) when it fires.
+func SimulateContext(ctx context.Context, cfg Config, spec RunSpec, opts ...Option) (Result, error) {
+	return simulate(ctx, cfg, spec, newRunConfig(opts))
+}
+
+// simulate executes one run under a resolved option set.
+func simulate(ctx context.Context, cfg Config, spec RunSpec, rc *runConfig) (Result, error) {
 	if spec.Scheme == "" {
 		spec.Scheme = "baseline"
 	}
 	if spec.Benchmark == "" {
 		return Result{}, fmt.Errorf("hdpat: RunSpec.Benchmark is required")
 	}
+	if rc.opsBudget != nil {
+		spec.OpsBudget = *rc.opsBudget
+	}
+	if rc.seed != nil {
+		spec.Seed = *rc.seed
+	}
 	b, err := workload.ByAbbr(spec.Benchmark)
 	if err != nil {
 		return Result{}, err
@@ -79,51 +134,25 @@ func Simulate(cfg Config, spec RunSpec) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return wafer.Run(cfg, wafer.Options{
+	for _, f := range rc.tweakCfg {
+		f(&cfg)
+	}
+	for _, f := range rc.tweakIOMMU {
+		f(&cfg.IOMMU)
+	}
+	return wafer.RunContext(ctx, cfg, wafer.Options{
 		Scheme:    spec.Scheme,
 		Benchmark: b,
 		OpsBudget: spec.OpsBudget,
 		Seed:      spec.Seed,
+		MaxCycles: sim.VTime(rc.maxCycles),
 	})
 }
 
 // SimulateWithIOMMU is Simulate with a hook to adjust the IOMMU parameters
-// after the scheme's defaults are applied — the entry point for sensitivity
-// sweeps (prefetch degree, redirection table size, walker count).
+// after the scheme's defaults are applied.
+//
+// Deprecated: use Simulate (or SimulateContext) with WithIOMMU.
 func SimulateWithIOMMU(cfg Config, spec RunSpec, tweak func(*IOMMUConfig)) (Result, error) {
-	if spec.Scheme == "" {
-		spec.Scheme = "baseline"
-	}
-	b, err := workload.ByAbbr(spec.Benchmark)
-	if err != nil {
-		return Result{}, err
-	}
-	cfg, err = wafer.ConfigFor(spec.Scheme, cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	if tweak != nil {
-		tweak(&cfg.IOMMU)
-	}
-	return wafer.Run(cfg, wafer.Options{
-		Scheme:    spec.Scheme,
-		Benchmark: b,
-		OpsBudget: spec.OpsBudget,
-		Seed:      spec.Seed,
-	})
-}
-
-// Compare runs the same benchmark under the baseline and the given scheme
-// and returns both results plus the speedup.
-func Compare(cfg Config, scheme, benchmark string, opsBudget int, seed int64) (base, res Result, speedup float64, err error) {
-	base, err = Simulate(cfg, RunSpec{Scheme: "baseline", Benchmark: benchmark, OpsBudget: opsBudget, Seed: seed})
-	if err != nil {
-		return
-	}
-	res, err = Simulate(cfg, RunSpec{Scheme: scheme, Benchmark: benchmark, OpsBudget: opsBudget, Seed: seed})
-	if err != nil {
-		return
-	}
-	speedup = res.Speedup(base)
-	return
+	return Simulate(cfg, spec, WithIOMMU(tweak))
 }

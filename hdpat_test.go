@@ -39,15 +39,18 @@ func TestCompare(t *testing.T) {
 	cfg := hdpat.DefaultConfig()
 	cfg.MeshW, cfg.MeshH = 5, 5
 	cfg.GPM.NumCUs = 8
-	base, res, speedup, err := hdpat.Compare(cfg, "hdpat", "KM", 32, 1)
+	cmp, err := hdpat.Compare(cfg, "hdpat", "KM", hdpat.WithOpsBudget(32), hdpat.WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if base.Scheme != "baseline" || res.Scheme != "hdpat" {
-		t.Errorf("schemes %s/%s", base.Scheme, res.Scheme)
+	if cmp.Baseline.Scheme != "baseline" || cmp.Result.Scheme != "hdpat" {
+		t.Errorf("schemes %s/%s", cmp.Baseline.Scheme, cmp.Result.Scheme)
 	}
-	if speedup <= 0 {
-		t.Errorf("speedup = %f", speedup)
+	if cmp.Scheme != "hdpat" || cmp.Benchmark != "KM" {
+		t.Errorf("labels %s/%s", cmp.Scheme, cmp.Benchmark)
+	}
+	if cmp.Speedup <= 0 {
+		t.Errorf("speedup = %f", cmp.Speedup)
 	}
 }
 

@@ -55,6 +55,22 @@ func Table2(s *Session) (Table, error) {
 func Fig2(s *Session) (Table, error) {
 	t := Table{ID: "fig2", Title: "Performance headroom of idealised IOMMUs",
 		Header: []string{"Benchmark", "Ideal latency (1cyc/16W)", "Ideal parallel (500cyc/4096W)"}}
+	var jobs []simJob
+	for _, bench := range s.benchmarks() {
+		baseCfg, _ := wafer.ConfigFor("baseline", config.Default())
+		jobs = append(jobs, simJob{cfg: baseCfg, scheme: "baseline", bench: bench})
+		latCfg := baseCfg
+		latCfg.IOMMU = config.IdealLatencyIOMMU()
+		latCfg.Name = "ideal-latency"
+		jobs = append(jobs, simJob{cfg: latCfg, scheme: "baseline", bench: bench})
+		parCfg := baseCfg
+		parCfg.IOMMU = config.IdealParallelIOMMU()
+		parCfg.Name = "ideal-parallel"
+		jobs = append(jobs, simJob{cfg: parCfg, scheme: "baseline", bench: bench})
+	}
+	if err := s.warm(jobs); err != nil {
+		return t, err
+	}
 	var latSp, parSp []float64
 	for _, bench := range s.benchmarks() {
 		baseCfg, _ := wafer.ConfigFor("baseline", config.Default())

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"strings"
 
 	"hdpat/internal/config"
+	"hdpat/internal/runner"
 	"hdpat/internal/sim"
 	"hdpat/internal/wafer"
 	"hdpat/internal/workload"
@@ -96,11 +98,17 @@ type Params struct {
 	// Benchmarks restricts the benchmark set (nil = Table II set, or the
 	// quick subset under Quick).
 	Benchmarks []string
+	// Workers bounds the simulations a figure's warm-up phase runs in
+	// parallel (<= 0 means GOMAXPROCS; 1 forces serial execution).
+	Workers int
 }
 
 // Session runs experiments, memoising simulation results so figures that
 // share runs (fig14/15/16/17 all need baseline+hdpat per benchmark) pay
-// once.
+// once. Figure generators declare their run set up front (warm/warmPairs),
+// which executes the cache misses as one parallel batch; the generators'
+// serial loops then assemble tables from cache hits. A Session is not
+// goroutine-safe — parallelism lives inside warm.
 type Session struct {
 	P     Params
 	cache map[string]wafer.Result
@@ -131,19 +139,24 @@ func (s *Session) benchmarks() []string {
 	return workload.Names()
 }
 
-// run executes (or recalls) one simulation.
-func (s *Session) run(cfg config.System, scheme, bench string, opts wafer.Options) (wafer.Result, error) {
-	key := fmt.Sprintf("%s|%s|%s|%d|%d|%d|%d|%v|%d|%d|%d|%d|%v|%d|%d",
+// runKey is the memo key for one simulation.
+func runKey(cfg config.System, scheme, bench string, opts wafer.Options) string {
+	return fmt.Sprintf("%s|%s|%s|%d|%d|%d|%d|%v|%d|%d|%d|%d|%v|%d|%d",
 		cfg.Name, scheme, bench, cfg.MeshW, cfg.MeshH, cfg.PageSize, cfg.WorkloadScale,
 		cfg.IOMMU.UseTLB, cfg.IOMMU.Walkers, cfg.IOMMU.WalkCycles, cfg.IOMMU.PrefetchDegree,
 		cfg.IOMMU.RedirectEntries, cfg.IOMMU.Revisit, cfg.GPM.L2Cache.SizeBytes,
 		opts.OpsBudget)
-	plain := opts.Observer == nil && opts.QueueWindow == 0 && opts.ServedWindow == 0
-	if plain {
-		if r, ok := s.cache[key]; ok {
-			return r, nil
-		}
-	}
+}
+
+// plainRun reports whether a run is memoisable (no observers or series,
+// which attach per-call state the cache cannot share).
+func plainRun(opts wafer.Options) bool {
+	return opts.Observer == nil && opts.QueueWindow == 0 && opts.ServedWindow == 0
+}
+
+// execute performs one simulation with the session's defaults applied. It
+// touches no session state, so warm may call it from worker goroutines.
+func (s *Session) execute(ctx context.Context, cfg config.System, scheme, bench string, opts wafer.Options) (wafer.Result, error) {
 	b, err := workload.ByAbbr(bench)
 	if err != nil {
 		return wafer.Result{}, err
@@ -156,7 +169,19 @@ func (s *Session) run(cfg config.System, scheme, bench string, opts wafer.Option
 	if opts.Seed == 0 {
 		opts.Seed = s.P.Seed + 1
 	}
-	res, err := wafer.Run(cfg, opts)
+	return wafer.RunContext(ctx, cfg, opts)
+}
+
+// run executes (or recalls) one simulation.
+func (s *Session) run(cfg config.System, scheme, bench string, opts wafer.Options) (wafer.Result, error) {
+	key := runKey(cfg, scheme, bench, opts)
+	plain := plainRun(opts)
+	if plain {
+		if r, ok := s.cache[key]; ok {
+			return r, nil
+		}
+	}
+	res, err := s.execute(context.Background(), cfg, scheme, bench, opts)
 	if err != nil {
 		return wafer.Result{}, err
 	}
@@ -165,6 +190,72 @@ func (s *Session) run(cfg config.System, scheme, bench string, opts wafer.Option
 		s.cache[key] = res
 	}
 	return res, nil
+}
+
+// simJob names one simulation for parallel pre-execution.
+type simJob struct {
+	cfg           config.System
+	scheme, bench string
+	opts          wafer.Options
+}
+
+// warm executes the given simulations' cache misses as one parallel batch
+// (bounded by Params.Workers) and memoises the results, so the caller's
+// subsequent run() calls are cache hits. Non-memoisable jobs (observers,
+// series) are skipped — they run serially in the generator as before.
+// Results are identical to serial execution; only wall-clock changes.
+func (s *Session) warm(jobs []simJob) error {
+	var pending []simJob
+	var keys []string
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		key := runKey(j.cfg, j.scheme, j.bench, j.opts)
+		if !plainRun(j.opts) || seen[key] {
+			continue
+		}
+		if _, ok := s.cache[key]; ok {
+			continue
+		}
+		seen[key] = true
+		pending = append(pending, j)
+		keys = append(keys, key)
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+	tasks := make([]runner.Task, len(pending))
+	for i, j := range pending {
+		j := j
+		tasks[i] = func(ctx context.Context) (wafer.Result, error) {
+			return s.execute(ctx, j.cfg, j.scheme, j.bench, j.opts)
+		}
+	}
+	pool := &runner.Pool{Workers: s.P.Workers}
+	for i, out := range pool.Run(context.Background(), tasks) {
+		if out.Err != nil {
+			return fmt.Errorf("experiments: %s/%s: %w", pending[i].scheme, pending[i].bench, out.Err)
+		}
+		s.Runs++
+		s.cache[keys[i]] = out.Result
+	}
+	return nil
+}
+
+// warmPairs pre-runs the baseline plus each named scheme across the given
+// benchmarks on the default wafer — the run set behind pair()-based
+// figures.
+func (s *Session) warmPairs(schemes []string, benches []string) error {
+	var jobs []simJob
+	for _, bench := range benches {
+		for _, scheme := range append([]string{"baseline"}, schemes...) {
+			cfg, err := wafer.ConfigFor(scheme, config.Default())
+			if err != nil {
+				return err
+			}
+			jobs = append(jobs, simJob{cfg: cfg, scheme: scheme, bench: bench})
+		}
+	}
+	return s.warm(jobs)
 }
 
 // pair runs baseline and the named scheme on a benchmark with the default

@@ -32,6 +32,21 @@ func ExtProbePolicy(s *Session) (Table, error) {
 		{"c1", 1, false},
 		{"c3", 3, false},
 	}
+	var jobs []simJob
+	for _, bench := range s.benchmarks() {
+		baseCfg, _ := wafer.ConfigFor("baseline", config.Default())
+		jobs = append(jobs, simJob{cfg: baseCfg, scheme: "baseline", bench: bench})
+		for _, v := range variants {
+			cfg, _ := wafer.ConfigFor("hdpat", config.Default())
+			cfg.HDPAT.Layers = v.layers
+			cfg.HDPAT.SequentialLayers = v.sequential
+			cfg.Name = "probe-" + v.name
+			jobs = append(jobs, simJob{cfg: cfg, scheme: "hdpat", bench: bench})
+		}
+	}
+	if err := s.warm(jobs); err != nil {
+		return t, err
+	}
 	sums := make([][]float64, len(variants))
 	for _, bench := range s.benchmarks() {
 		baseCfg, _ := wafer.ConfigFor("baseline", config.Default())
@@ -70,6 +85,20 @@ func ExtPushThreshold(s *Session) (Table, error) {
 	thresholds := []uint32{1, 2, 4, 8}
 	t := Table{ID: "ext-threshold", Title: "Selective push threshold (speedup vs baseline)",
 		Header: []string{"Benchmark", "t=1", "t=2", "t=4", "t=8"}}
+	var jobs []simJob
+	for _, bench := range s.benchmarks() {
+		baseCfg, _ := wafer.ConfigFor("baseline", config.Default())
+		jobs = append(jobs, simJob{cfg: baseCfg, scheme: "baseline", bench: bench})
+		for _, th := range thresholds {
+			cfg, _ := wafer.ConfigFor("hdpat", config.Default())
+			cfg.IOMMU.PushThreshold = th
+			cfg.Name = fmt.Sprintf("push-t%d", th)
+			jobs = append(jobs, simJob{cfg: cfg, scheme: "hdpat", bench: bench})
+		}
+	}
+	if err := s.warm(jobs); err != nil {
+		return t, err
+	}
 	sums := make([][]float64, len(thresholds))
 	for _, bench := range s.benchmarks() {
 		baseCfg, _ := wafer.ConfigFor("baseline", config.Default())
@@ -109,6 +138,9 @@ func ExtPushThreshold(s *Session) (Table, error) {
 func ExtOwnerForward(s *Session) (Table, error) {
 	t := Table{ID: "ext-ownerfw", Title: "Owner-forwarded walks vs HDPAT (speedup vs baseline)",
 		Header: []string{"Benchmark", "HDPAT", "OwnerFW"}}
+	if err := s.warmPairs([]string{"hdpat", "ownerfw"}, s.benchmarks()); err != nil {
+		return t, err
+	}
 	var hd, of []float64
 	for _, bench := range s.benchmarks() {
 		base, h, err := s.pair("hdpat", bench)

@@ -12,6 +12,9 @@ func Fig14(s *Session) (Table, error) {
 	schemesList := []string{"transfw", "valkyrie", "barre", "hdpat"}
 	t := Table{ID: "fig14", Title: "Normalized performance vs baseline",
 		Header: append([]string{"Benchmark"}, schemesList...)}
+	if err := s.warmPairs(schemesList, s.benchmarks()); err != nil {
+		return t, err
+	}
 	sums := map[string][]float64{}
 	for _, bench := range s.benchmarks() {
 		row := []any{bench}
@@ -44,6 +47,9 @@ func Fig15(s *Session) (Table, error) {
 	ladder := []string{"route", "concentric", "distributed", "cluster", "redirect", "prefetch", "hdpat"}
 	t := Table{ID: "fig15", Title: "Ablation of HDPAT techniques (speedup vs baseline)",
 		Header: append([]string{"Benchmark"}, ladder...)}
+	if err := s.warmPairs(ladder, s.benchmarks()); err != nil {
+		return t, err
+	}
 	sums := map[string][]float64{}
 	for _, bench := range s.benchmarks() {
 		row := []any{bench}
@@ -73,6 +79,9 @@ func Fig15(s *Session) (Table, error) {
 func Fig16(s *Session) (Table, error) {
 	t := Table{ID: "fig16", Title: "Breakdown of translation handling under HDPAT (%)",
 		Header: []string{"Benchmark", "Peer", "Redirect", "Proactive", "IOMMU", "Offloaded"}}
+	if err := s.warmPairs([]string{"hdpat"}, s.benchmarks()); err != nil {
+		return t, err
+	}
 	var offloads []float64
 	for _, bench := range s.benchmarks() {
 		_, res, err := s.pair("hdpat", bench)
@@ -98,6 +107,9 @@ func Fig16(s *Session) (Table, error) {
 func Fig17(s *Session) (Table, error) {
 	t := Table{ID: "fig17", Title: "Remote translation round-trip time (normalized) and NoC traffic",
 		Header: []string{"Benchmark", "Baseline cyc", "HDPAT cyc", "Normalized", "Traffic overhead %"}}
+	if err := s.warmPairs([]string{"hdpat"}, s.benchmarks()); err != nil {
+		return t, err
+	}
 	var norm []float64
 	var traffic []float64
 	for _, bench := range s.benchmarks() {
@@ -128,6 +140,19 @@ func Fig18(s *Session) (Table, error) {
 	degrees := []int{1, 4, 8}
 	t := Table{ID: "fig18", Title: "Proactive delivery granularity (speedup vs baseline)",
 		Header: []string{"Benchmark", "1 PTE", "4 PTEs", "8 PTEs"}}
+	var jobs []simJob
+	for _, bench := range s.benchmarks() {
+		baseCfg, _ := wafer.ConfigFor("baseline", config.Default())
+		jobs = append(jobs, simJob{cfg: baseCfg, scheme: "baseline", bench: bench})
+		for _, d := range degrees {
+			cfg, _ := wafer.ConfigFor("hdpat", config.Default())
+			cfg.IOMMU.PrefetchDegree = d
+			jobs = append(jobs, simJob{cfg: cfg, scheme: "hdpat", bench: bench})
+		}
+	}
+	if err := s.warm(jobs); err != nil {
+		return t, err
+	}
 	sums := map[int][]float64{}
 	for _, bench := range s.benchmarks() {
 		row := []any{bench}
@@ -158,6 +183,9 @@ func Fig18(s *Session) (Table, error) {
 func Fig19(s *Session) (Table, error) {
 	t := Table{ID: "fig19", Title: "Redirection table vs area-equivalent IOMMU TLB (speedup vs baseline)",
 		Header: []string{"Benchmark", "RT (1024 ent)", "TLB (512 ent)", "RT/TLB"}}
+	if err := s.warmPairs([]string{"hdpat", "iommutlb"}, s.benchmarks()); err != nil {
+		return t, err
+	}
 	var ratios []float64
 	for _, bench := range s.benchmarks() {
 		base, rt, err := s.pair("hdpat", bench)

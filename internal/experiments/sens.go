@@ -15,6 +15,22 @@ func Fig20(s *Session) (Table, error) {
 	t := Table{ID: "fig20", Title: "Page-size sensitivity (geomean, normalized to 4KB baseline)",
 		Header: []string{"Page size", "Baseline", "HDPAT", "HDPAT advantage"}}
 	sizes := []vm.PageSize{vm.Page4K, vm.Page16K, vm.Page64K}
+	var jobs []simJob
+	for _, bench := range s.benchmarks() {
+		cfg, _ := wafer.ConfigFor("baseline", config.Default())
+		jobs = append(jobs, simJob{cfg: cfg, scheme: "baseline", bench: bench})
+		for _, ps := range sizes {
+			for _, scheme := range []string{"baseline", "hdpat"} {
+				cfg, _ := wafer.ConfigFor(scheme, config.Default())
+				cfg.PageSize = ps
+				cfg.Name = fmt.Sprintf("ps%dk", uint64(ps)>>10)
+				jobs = append(jobs, simJob{cfg: cfg, scheme: scheme, bench: bench})
+			}
+		}
+	}
+	if err := s.warm(jobs); err != nil {
+		return t, err
+	}
 	// Reference: per-benchmark 4 KB baseline cycles.
 	ref := map[string]float64{}
 	for _, bench := range s.benchmarks() {
@@ -59,6 +75,26 @@ func Fig20(s *Session) (Table, error) {
 func Fig21(s *Session) (Table, error) {
 	t := Table{ID: "fig21", Title: "HDPAT speedup across GPU configurations (geomean)",
 		Header: []string{"GPU", "Geomean speedup"}}
+	var jobs []simJob
+	for _, name := range config.GPMVariantNames() {
+		gpm, err := config.GPMVariant(name)
+		if err != nil {
+			return t, err
+		}
+		for _, bench := range s.benchmarks() {
+			for _, scheme := range []string{"baseline", "hdpat"} {
+				cfg, _ := wafer.ConfigFor(scheme, config.Default())
+				cfg.GPM.L1VCache = gpm.L1VCache
+				cfg.GPM.L2Cache = gpm.L2Cache
+				cfg.GPM.HBM = gpm.HBM
+				cfg.Name = "gpu-" + name
+				jobs = append(jobs, simJob{cfg: cfg, scheme: scheme, bench: bench})
+			}
+		}
+	}
+	if err := s.warm(jobs); err != nil {
+		return t, err
+	}
 	for _, name := range config.GPMVariantNames() {
 		gpm, err := config.GPMVariant(name)
 		if err != nil {
@@ -91,6 +127,16 @@ func Fig21(s *Session) (Table, error) {
 func Fig22(s *Session) (Table, error) {
 	t := Table{ID: "fig22", Title: "HDPAT on a 7x12 wafer (speedup vs baseline)",
 		Header: []string{"Benchmark", "Speedup"}}
+	var jobs []simJob
+	for _, bench := range s.benchmarks() {
+		for _, scheme := range []string{"baseline", "hdpat"} {
+			cfg, _ := wafer.ConfigFor(scheme, config.Wafer7x12())
+			jobs = append(jobs, simJob{cfg: cfg, scheme: scheme, bench: bench})
+		}
+	}
+	if err := s.warm(jobs); err != nil {
+		return t, err
+	}
 	var sp []float64
 	for _, bench := range s.benchmarks() {
 		var results [2]wafer.Result

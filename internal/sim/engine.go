@@ -63,6 +63,16 @@ func (e *Engine) Now() VTime { return e.now }
 // Pending reports the number of events not yet executed.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// NextTime returns the time of the earliest pending event. ok is false when
+// the queue is empty. Callers slicing a run with RunUntil (cancellation
+// checks, progress reporting) use it to skip idle gaps in one step.
+func (e *Engine) NextTime() (t VTime, ok bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events.peek().time, true
+}
+
 // Schedule runs fn after delay cycles (possibly zero, meaning later in the
 // current cycle, after already-scheduled same-cycle events).
 func (e *Engine) Schedule(delay VTime, fn func()) {

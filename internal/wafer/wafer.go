@@ -4,6 +4,8 @@
 package wafer
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"hdpat/internal/config"
@@ -21,6 +23,10 @@ import (
 	"hdpat/internal/workload"
 	"hdpat/internal/xlat"
 )
+
+// ErrUnknownScheme is returned (wrapped with the offending name) when a
+// scheme is not one of SchemeNames(); match it with errors.Is.
+var ErrUnknownScheme = errors.New("unknown scheme")
 
 // SchemeNames lists every runnable scheme.
 func SchemeNames() []string {
@@ -62,7 +68,7 @@ func ConfigFor(scheme string, base config.System) (config.System, error) {
 		io.Revisit = true
 		io.PrefetchDegree = 4
 	default:
-		return base, fmt.Errorf("wafer: unknown scheme %q", scheme)
+		return base, fmt.Errorf("wafer: %w %q", ErrUnknownScheme, scheme)
 	}
 	base.IOMMU = io
 	return base, nil
@@ -188,8 +194,41 @@ func (r Result) Speedup(base Result) float64 {
 	return float64(base.Cycles) / float64(r.Cycles)
 }
 
-// Run builds and executes one simulation.
+// Run builds and executes one simulation. It is RunContext with a
+// background context.
 func Run(cfg config.System, opts Options) (Result, error) {
+	return RunContext(context.Background(), cfg, opts)
+}
+
+// ctxCheckInterval is how many simulated cycles RunContext executes between
+// cancellation checks. Small enough that cancellation lands promptly even on
+// short runs; large enough that the per-check cost vanishes in the noise.
+const ctxCheckInterval = 1 << 16
+
+// runEngine executes events with time <= limit, checking ctx between
+// slices of at most ctxCheckInterval cycles. Slicing does not perturb event
+// order, so results are identical to a single RunUntil(limit) call.
+func runEngine(ctx context.Context, eng *sim.Engine, limit sim.VTime) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		next, ok := eng.NextTime()
+		if !ok || next > limit {
+			return nil
+		}
+		slice := next + ctxCheckInterval
+		if slice > limit || slice < next { // min(limit, ...), overflow-safe
+			slice = limit
+		}
+		eng.RunUntil(slice)
+	}
+}
+
+// RunContext builds and executes one simulation, aborting with ctx.Err()
+// when ctx is cancelled mid-run (checked between engine slices; a cancelled
+// run returns a zero Result).
+func RunContext(ctx context.Context, cfg config.System, opts Options) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -309,14 +348,18 @@ func Run(cfg config.System, opts Options) (Result, error) {
 		g.Start(sim.VTime(opts.Benchmark.Gap), func(int, sim.VTime) { finished++ })
 	}
 
-	eng.RunUntil(opts.MaxCycles)
+	if err := runEngine(ctx, eng, opts.MaxCycles); err != nil {
+		return Result{}, err
+	}
 	var runErr error
 	if finished < numGPMs {
 		runErr = fmt.Errorf("wafer: %s/%s finished %d/%d GPMs by cycle limit %d",
 			opts.Scheme, opts.Benchmark.Abbr, finished, numGPMs, opts.MaxCycles)
 	} else {
 		// Drain stragglers (late miss responses etc.) for accurate NoC stats.
-		eng.Run()
+		if err := runEngine(ctx, eng, sim.Infinity); err != nil {
+			return Result{}, err
+		}
 	}
 
 	res := Result{
@@ -391,7 +434,7 @@ func buildScheme(name string, f *core.Fabric, h config.HDPAT) (xlat.RemoteTransl
 	case "cluster", "redirect", "prefetch", "hdpat", "iommutlb":
 		return core.NewHDPAT(f, h), nil
 	}
-	return nil, fmt.Errorf("wafer: unknown scheme %q", name)
+	return nil, fmt.Errorf("wafer: %w %q", ErrUnknownScheme, name)
 }
 
 // auxProbe is a debugging aggregate filled at the end of Run.

@@ -1,6 +1,9 @@
 package wafer
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"testing"
 
 	"hdpat/internal/config"
@@ -164,11 +167,36 @@ func TestTranslationCorrectnessAllSchemes(t *testing.T) {
 }
 
 func TestConfigForRejectsUnknown(t *testing.T) {
-	if _, err := ConfigFor("nope", smallConfig()); err == nil {
-		t.Error("unknown scheme accepted")
+	if _, err := ConfigFor("nope", smallConfig()); !errors.Is(err, ErrUnknownScheme) {
+		t.Errorf("ConfigFor err = %v, want ErrUnknownScheme", err)
 	}
-	if _, err := Run(smallConfig(), Options{Scheme: "nope", Benchmark: mustBench(t, "PR")}); err == nil {
-		t.Error("Run accepted unknown scheme")
+	if _, err := Run(smallConfig(), Options{Scheme: "nope", Benchmark: mustBench(t, "PR")}); !errors.Is(err, ErrUnknownScheme) {
+		t.Errorf("Run err = %v, want ErrUnknownScheme", err)
+	}
+}
+
+// TestRunContextCancellation: a cancelled context aborts the engine between
+// slices, and RunContext with a live context matches Run exactly.
+func TestRunContextCancellation(t *testing.T) {
+	cfg, _ := ConfigFor("baseline", smallConfig())
+	opts := Options{Scheme: "baseline", Benchmark: mustBench(t, "PR"), OpsBudget: 24, Seed: 1}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, cfg, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunContext err = %v, want context.Canceled", err)
+	}
+
+	got, err := RunContext(context.Background(), cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("RunContext result differs from Run")
 	}
 }
 

@@ -13,11 +13,16 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"hdpat/internal/vm"
 )
+
+// ErrUnknownBenchmark is returned (wrapped with the offending abbreviation)
+// when a benchmark is not in the Table II suite; match it with errors.Is.
+var ErrUnknownBenchmark = errors.New("unknown benchmark")
 
 // RegionSpec names a memory region and its size in pages (already scaled).
 type RegionSpec struct {
@@ -91,7 +96,7 @@ func ByAbbr(abbr string) (Benchmark, error) {
 			return b, nil
 		}
 	}
-	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", abbr)
+	return Benchmark{}, fmt.Errorf("workload: %w %q", ErrUnknownBenchmark, abbr)
 }
 
 // Names lists all benchmark abbreviations in Table II order.

@@ -1,0 +1,110 @@
+package hdpat
+
+// Option adjusts how Simulate, SimulateContext, RunBatch, Compare and
+// CompareAll execute. Options compose left to right: later options override
+// earlier ones where they conflict (WithSeed, WithOpsBudget) and accumulate
+// where they don't (WithConfig, WithIOMMU).
+type Option func(*runConfig)
+
+// runConfig is the resolved option set for one call.
+type runConfig struct {
+	tweakCfg   []func(*Config)
+	tweakIOMMU []func(*IOMMUConfig)
+	opsBudget  *int
+	seed       *int64
+	maxCycles  uint64
+	workers    int
+	progress   func(done, total int)
+	perRun     func(i int) []Option
+}
+
+func newRunConfig(opts []Option) *runConfig {
+	rc := &runConfig{}
+	rc.apply(opts)
+	return rc
+}
+
+func (rc *runConfig) apply(opts []Option) {
+	for _, o := range opts {
+		o(rc)
+	}
+}
+
+// forRun resolves the option set for the i'th spec of a batch, folding in
+// WithPerRun options. The clone deep-copies the hook slices so concurrent
+// workers never share appendable backing arrays.
+func (rc *runConfig) forRun(i int) *runConfig {
+	if rc.perRun == nil {
+		return rc
+	}
+	c := *rc
+	c.tweakCfg = append([]func(*Config){}, rc.tweakCfg...)
+	c.tweakIOMMU = append([]func(*IOMMUConfig){}, rc.tweakIOMMU...)
+	c.perRun = nil // per-run options must not recurse
+	c.apply(rc.perRun(i))
+	return &c
+}
+
+// WithConfig registers a hook that adjusts the full system configuration
+// after the scheme's defaults are applied — the general entry point for
+// sensitivity sweeps (mesh size, HDPAT layers, cache geometry).
+func WithConfig(f func(*Config)) Option {
+	return func(rc *runConfig) {
+		if f != nil {
+			rc.tweakCfg = append(rc.tweakCfg, f)
+		}
+	}
+}
+
+// WithIOMMU registers a hook that adjusts the IOMMU parameters after the
+// scheme's defaults (and any WithConfig hooks) are applied — prefetch
+// degree, redirection table size, walker count. It replaces the old
+// SimulateWithIOMMU entry point.
+func WithIOMMU(f func(*IOMMUConfig)) Option {
+	return func(rc *runConfig) {
+		if f != nil {
+			rc.tweakIOMMU = append(rc.tweakIOMMU, f)
+		}
+	}
+}
+
+// WithOpsBudget overrides RunSpec.OpsBudget for every run of the call
+// (0 restores the simulator default).
+func WithOpsBudget(n int) Option {
+	return func(rc *runConfig) { rc.opsBudget = &n }
+}
+
+// WithSeed overrides RunSpec.Seed for every run of the call.
+func WithSeed(seed int64) Option {
+	return func(rc *runConfig) { rc.seed = &seed }
+}
+
+// WithMaxCycles overrides the runaway-simulation cycle limit
+// (0 = the 200M-cycle default).
+func WithMaxCycles(cycles uint64) Option {
+	return func(rc *runConfig) { rc.maxCycles = cycles }
+}
+
+// WithWorkers bounds the number of simulations RunBatch and CompareAll run
+// concurrently (<= 0 means GOMAXPROCS; 1 forces serial execution).
+// Single-run calls ignore it.
+func WithWorkers(n int) Option {
+	return func(rc *runConfig) { rc.workers = n }
+}
+
+// WithProgress registers a callback invoked after each run of a batch
+// settles, with the number settled so far and the batch size. Calls are
+// serialised and arrive from worker goroutines. Single-run calls ignore it.
+func WithProgress(f func(done, total int)) Option {
+	return func(rc *runConfig) { rc.progress = f }
+}
+
+// WithPerRun supplies extra options for individual runs of a batch: f is
+// called with each spec's submission index and its returned options are
+// applied on top of the batch-wide ones. This is how a sweep gives every
+// grid cell its own configuration while still executing as one parallel
+// batch. Only RunBatch honours it; CompareAll and single-run calls ignore
+// it, and nested WithPerRun options are ignored.
+func WithPerRun(f func(i int) []Option) Option {
+	return func(rc *runConfig) { rc.perRun = f }
+}
