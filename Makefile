@@ -4,8 +4,10 @@
 # data races.
 
 GO ?= go
+BENCH ?= BenchmarkBatch3x3
+BENCHTIME ?= 3x
 
-.PHONY: build test race vet check bench
+.PHONY: build test race vet check bench bench-all
 
 build:
 	$(GO) build ./...
@@ -21,7 +23,18 @@ vet:
 
 check: vet race
 
+# Machine-readable benchmark run: the batch-engine benchmarks (override
+# with BENCH=...) with allocation stats, teed to results/bench.txt and
+# parsed into results/bench.json for regression diffing. Set BENCHJSON_NOTE
+# to annotate the JSON (e.g. "baseline at <commit>").
+bench:
+	@mkdir -p results
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -benchmem \
+		| tee results/bench.txt | /tmp/benchjson > results/bench.json
+	@echo "wrote results/bench.txt and results/bench.json"
+
 # One iteration of every paper-artifact benchmark plus the batch-engine
 # serial/parallel comparison.
-bench:
+bench-all:
 	$(GO) test -bench=. -benchtime 1x

@@ -2,9 +2,12 @@ package hdpat
 
 import (
 	"context"
+	"fmt"
 	"time"
 
+	"hdpat/internal/metrics"
 	"hdpat/internal/runner"
+	"hdpat/internal/trace"
 )
 
 // RunResult is one run of a batch: the spec that produced it, its result or
@@ -34,14 +37,35 @@ type RunResult struct {
 // (per-run failures are reported only on the individual RunResults).
 func RunBatch(ctx context.Context, cfg Config, specs []RunSpec, opts ...Option) ([]RunResult, error) {
 	rc := newRunConfig(opts)
+	var batchTracer *trace.Tracer
+	if rc.traceW != nil {
+		batchTracer = trace.New(rc.traceW, rc.traceFormat)
+	}
 	tasks := make([]runner.Task, len(specs))
 	for i, spec := range specs {
 		i, spec := i, spec
 		tasks[i] = func(ctx context.Context) (Result, error) {
-			return simulate(ctx, cfg, spec, rc.forRun(i))
+			rci := rc.forRun(i)
+			if rci.metrics != nil || batchTracer != nil {
+				// Concurrent runs must not share series: give each its own
+				// registry and a child tracer tagged with the run index. The
+				// run's snapshot folds into the caller's registry on settle.
+				c := *rci
+				if c.metrics != nil {
+					c.metrics = metrics.NewRegistry()
+				}
+				c.tracer = batchTracer.Run(i)
+				c.traceW = nil
+				rci = &c
+			}
+			res, err := simulate(ctx, cfg, spec, rci)
+			if rc.metrics != nil && res.Metrics != nil {
+				rc.metrics.Merge(res.Metrics)
+			}
+			return res, err
 		}
 	}
-	pool := &runner.Pool{Workers: rc.workers}
+	pool := &runner.Pool{Workers: rc.workers, Metrics: rc.metrics}
 	if rc.progress != nil {
 		pool.Progress = func(done, total int, _ runner.Outcome) { rc.progress(done, total) }
 	}
@@ -50,7 +74,11 @@ func RunBatch(ctx context.Context, cfg Config, specs []RunSpec, opts ...Option) 
 	for i, o := range outs {
 		results[i] = RunResult{Spec: specs[i], Result: o.Result, Err: o.Err, Wall: o.Wall}
 	}
-	return results, ctx.Err()
+	err := ctx.Err()
+	if cerr := batchTracer.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("hdpat: trace: %w", cerr)
+	}
+	return results, err
 }
 
 // ComparisonResult is one scheme-vs-baseline measurement on a benchmark.
@@ -67,6 +95,17 @@ type ComparisonResult struct {
 	// Err reports a failure of either underlying run (only meaningful from
 	// CompareAll; Compare returns it as its error instead).
 	Err error
+}
+
+// MetricsDiff returns the scheme run's metric series minus the baseline's
+// (counters and gauges subtract; histograms contribute their ".count"
+// delta), the per-series view behind "why is this scheme faster". It
+// returns nil unless both runs carried metrics (WithMetrics).
+func (c ComparisonResult) MetricsDiff() map[string]float64 {
+	if c.Result.Metrics == nil || c.Baseline.Metrics == nil {
+		return nil
+	}
+	return c.Result.Metrics.Diff(c.Baseline.Metrics)
 }
 
 // Compare runs the same benchmark under the baseline and the given scheme

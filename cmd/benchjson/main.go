@@ -1,0 +1,115 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so `make bench` can commit a
+// regression baseline (results/bench.json) that CI and later sessions diff
+// against without re-parsing the text format.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkBatch -benchmem | benchjson > results/bench.json
+//
+// Only standard benchmark result lines and the context header (goos/goarch/
+// pkg/cpu) are interpreted; everything else passes through to stderr so
+// failures stay visible in pipelines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Metric is one reported value of a benchmark ("ns/op", "B/op",
+// "allocs/op", or any custom b.ReportMetric unit).
+type Metric struct {
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// Benchmark is one result line.
+type Benchmark struct {
+	Name       string   `json:"name"`
+	Procs      int      `json:"procs,omitempty"` // the -N GOMAXPROCS suffix
+	Iterations int64    `json:"iterations"`
+	Metrics    []Metric `json:"metrics"`
+}
+
+// Report is the whole document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep := Report{Note: os.Getenv("BENCHJSON_NOTE")}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+				continue
+			}
+			fmt.Fprintln(os.Stderr, line)
+		default:
+			// PASS/FAIL/ok and test chatter: keep visible, out of the JSON.
+			if line != "" {
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}
+
+// parseBenchLine parses "BenchmarkName-8  3  123 ns/op  45 B/op ..." into a
+// Benchmark. Metrics come in (value, unit) pairs after the iteration count.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0]}
+	if i := strings.LastIndexByte(b.Name, '-'); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics = append(b.Metrics, Metric{Value: v, Unit: fields[i+1]})
+	}
+	return b, true
+}

@@ -15,9 +15,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"hdpat/internal/experiments"
+	"hdpat/internal/metrics"
 )
 
 func main() {
@@ -30,6 +32,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulations per experiment (0 = GOMAXPROCS, 1 = serial)")
 	asJSON := flag.Bool("json", false, "emit results as a JSON array")
 	asCSV := flag.Bool("csv", false, "emit results as CSV blocks")
+	serve := flag.String("serve", "", "serve live metrics/progress over HTTP on this address (e.g. :9090)")
 	flag.Parse()
 
 	if *list {
@@ -44,6 +47,16 @@ func main() {
 		p.Benchmarks = strings.Split(*bench, ",")
 	}
 	session := experiments.NewSession(p)
+	var progress progressState
+	if *serve != "" {
+		reg := metrics.NewRegistry()
+		session.Metrics = reg
+		go func() {
+			if err := metrics.ListenAndServe(*serve, reg, progress.snapshot); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			}
+		}()
+	}
 
 	var selected []experiments.Experiment
 	if *run == "" {
@@ -65,8 +78,9 @@ func main() {
 
 	t0 := time.Now()
 	var tables []experiments.Table
-	for _, e := range selected {
+	for i, e := range selected {
 		start := time.Now()
+		progress.set(e.ID, i, len(selected), session.Runs)
 		table, err := e.Run(session)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
@@ -95,4 +109,27 @@ func main() {
 		fmt.Printf("total: %d experiments, %d simulations, %s\n",
 			len(selected), session.Runs, time.Since(t0).Truncate(time.Millisecond))
 	}
+}
+
+// progressState is the -serve endpoint's view of the experiment loop.
+// Runs is sampled at experiment boundaries, keeping the scrape goroutine
+// off the session's unsynchronised fields.
+type progressState struct {
+	mu    sync.Mutex
+	phase string
+	done  int
+	total int
+	runs  int
+}
+
+func (p *progressState) set(phase string, done, total, runs int) {
+	p.mu.Lock()
+	p.phase, p.done, p.total, p.runs = phase, done, total, runs
+	p.mu.Unlock()
+}
+
+func (p *progressState) snapshot() metrics.Progress {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return metrics.Progress{Phase: p.phase, Done: p.done, Total: p.total, Runs: p.runs}
 }

@@ -10,6 +10,7 @@ import (
 	"log"
 
 	"hdpat/internal/config"
+	"hdpat/internal/iommu"
 	"hdpat/internal/sim"
 	"hdpat/internal/stats"
 	"hdpat/internal/wafer"
@@ -33,10 +34,10 @@ func main() {
 	res, err := wafer.Run(cfg, wafer.Options{
 		Scheme: "baseline", Benchmark: b, OpsBudget: *budget, Seed: 1,
 		QueueWindow: 2000,
-		Observer: func(now sim.VTime, req *xlat.Request) {
+		Hooks: []iommu.RequestHook{iommu.RequestHookFunc(func(now sim.VTime, req *xlat.Request) {
 			reuse.Touch(uint64(req.VPN))
 			spatial.Touch(uint64(req.VPN))
-		},
+		})},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -5,15 +5,28 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"strconv"
 
 	"hdpat"
 )
+
+// opsBudget honours the HDPAT_OPS_BUDGET override (used by the repository's
+// smoke test to keep example runs fast) and defaults to def.
+func opsBudget(def int) int {
+	if s := os.Getenv("HDPAT_OPS_BUDGET"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
 
 func main() {
 	cfg := hdpat.DefaultConfig()
 
 	cmp, err := hdpat.Compare(cfg, "hdpat", "SPMV",
-		hdpat.WithOpsBudget(64), hdpat.WithSeed(1))
+		hdpat.WithOpsBudget(opsBudget(64)), hdpat.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}

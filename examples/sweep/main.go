@@ -11,17 +11,31 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
+	"strconv"
 
 	"hdpat"
 )
+
+// opsBudget honours the HDPAT_OPS_BUDGET override (used by the repository's
+// smoke test to keep example runs fast) and defaults to def.
+func opsBudget(def int) int {
+	if s := os.Getenv("HDPAT_OPS_BUDGET"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
 
 func main() {
 	degrees := []int{1, 2, 4, 8}
 	layers := []int{1, 2, 3}
 
+	budget := opsBudget(64)
 	base, err := hdpat.Simulate(hdpat.DefaultConfig(),
 		hdpat.RunSpec{Scheme: "baseline", Benchmark: "FIR"},
-		hdpat.WithOpsBudget(64), hdpat.WithSeed(1))
+		hdpat.WithOpsBudget(budget), hdpat.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +53,7 @@ func main() {
 		specs[i] = hdpat.RunSpec{Scheme: "hdpat", Benchmark: "FIR"}
 	}
 	runs, err := hdpat.RunBatch(context.Background(), hdpat.DefaultConfig(), specs,
-		hdpat.WithOpsBudget(64), hdpat.WithSeed(1),
+		hdpat.WithOpsBudget(budget), hdpat.WithSeed(1),
 		hdpat.WithPerRun(func(i int) []hdpat.Option {
 			c := cells[i]
 			return []hdpat.Option{

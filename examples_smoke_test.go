@@ -1,0 +1,38 @@
+// Smoke test for the runnable examples: build each binary and run it with a
+// tiny HDPAT_OPS_BUDGET so a broken example fails `go test ./...` instead of
+// rotting silently. Lives at the repo root because a directory containing
+// only _test.go files would break `go build ./...`.
+package hdpat_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples build+run skipped in -short mode")
+	}
+	for _, name := range []string{"quickstart", "sweep"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), name)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			run := exec.Command(bin)
+			run.Env = append(os.Environ(), "HDPAT_OPS_BUDGET=8")
+			out, err := run.CombinedOutput()
+			if err != nil {
+				t.Fatalf("run failed: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Error("example produced no output")
+			}
+		})
+	}
+}

@@ -44,8 +44,10 @@ import (
 	"fmt"
 
 	"hdpat/internal/config"
+	"hdpat/internal/metrics"
 	"hdpat/internal/runner"
 	"hdpat/internal/sim"
+	"hdpat/internal/trace"
 	"hdpat/internal/wafer"
 	"hdpat/internal/workload"
 )
@@ -59,6 +61,32 @@ type IOMMUConfig = config.IOMMU
 
 // Result is the outcome of one simulation run.
 type Result = wafer.Result
+
+// MetricsRegistry collects named counters, gauges and log2 histograms from
+// every component of a run (see WithMetrics). It re-exports
+// metrics.Registry; create one with NewMetricsRegistry.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is an immutable point-in-time view of a registry; each
+// run's final snapshot is available on Result.Metrics when WithMetrics is
+// in effect.
+type MetricsSnapshot = metrics.Snapshot
+
+// MetricsProgress is the payload the /progress endpoint of ServeMetrics
+// reports.
+type MetricsProgress = metrics.Progress
+
+// NewMetricsRegistry returns an empty registry for WithMetrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// ServeMetrics serves reg over HTTP on addr: Prometheus text exposition on
+// /metrics, a JSON snapshot on /metrics.json, and — when progress is
+// non-nil — a JSON progress report on /progress. It blocks like
+// http.ListenAndServe; run it in a goroutine alongside a live simulation or
+// batch sharing reg.
+func ServeMetrics(addr string, reg *MetricsRegistry, progress func() MetricsProgress) error {
+	return metrics.ListenAndServe(addr, reg, progress)
+}
 
 // PanicError is the error type wrapping a panic recovered from one run of a
 // batch (see RunBatch); inspect it with errors.As.
@@ -140,13 +168,26 @@ func simulate(ctx context.Context, cfg Config, spec RunSpec, rc *runConfig) (Res
 	for _, f := range rc.tweakIOMMU {
 		f(&cfg.IOMMU)
 	}
-	return wafer.RunContext(ctx, cfg, wafer.Options{
+	wopts := wafer.Options{
 		Scheme:    spec.Scheme,
 		Benchmark: b,
 		OpsBudget: spec.OpsBudget,
 		Seed:      spec.Seed,
 		MaxCycles: sim.VTime(rc.maxCycles),
-	})
+		Metrics:   rc.metrics,
+	}
+	var owned *trace.Tracer
+	if rc.tracer != nil {
+		wopts.Trace = rc.tracer // batch child: the batch owns the stream
+	} else if rc.traceW != nil {
+		owned = trace.New(rc.traceW, rc.traceFormat)
+		wopts.Trace = owned
+	}
+	res, err := wafer.RunContext(ctx, cfg, wopts)
+	if cerr := owned.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("hdpat: trace: %w", cerr)
+	}
+	return res, err
 }
 
 // SimulateWithIOMMU is Simulate with a hook to adjust the IOMMU parameters

@@ -5,6 +5,7 @@ import (
 
 	"hdpat/internal/config"
 	"hdpat/internal/geom"
+	"hdpat/internal/iommu"
 	"hdpat/internal/sim"
 	"hdpat/internal/stats"
 	"hdpat/internal/wafer"
@@ -194,7 +195,8 @@ func Fig6(s *Session) (Table, error) {
 		tracker := stats.NewReuseTracker()
 		cfg, _ := wafer.ConfigFor("baseline", config.Default())
 		_, err := s.run(cfg, "baseline", bench, wafer.Options{
-			Observer: func(now sim.VTime, req *xlat.Request) { tracker.Touch(uint64(req.VPN)) },
+			Hooks: []iommu.RequestHook{iommu.RequestHookFunc(
+				func(now sim.VTime, req *xlat.Request) { tracker.Touch(uint64(req.VPN)) })},
 		})
 		if err != nil {
 			return t, err
@@ -238,7 +240,8 @@ func Fig7(s *Session) (Table, error) {
 		tracker := stats.NewReuseTracker()
 		cfg, _ := wafer.ConfigFor("baseline", config.Default())
 		_, err := s.run(cfg, "baseline", bench, wafer.Options{
-			Observer: func(now sim.VTime, req *xlat.Request) { tracker.Touch(uint64(req.VPN)) },
+			Hooks: []iommu.RequestHook{iommu.RequestHookFunc(
+				func(now sim.VTime, req *xlat.Request) { tracker.Touch(uint64(req.VPN)) })},
 		})
 		if err != nil {
 			return t, err
@@ -259,7 +262,8 @@ func Fig8(s *Session) (Table, error) {
 		var tracker stats.SpatialTracker
 		cfg, _ := wafer.ConfigFor("baseline", config.Default())
 		_, err := s.run(cfg, "baseline", bench, wafer.Options{
-			Observer: func(now sim.VTime, req *xlat.Request) { tracker.Touch(uint64(req.VPN)) },
+			Hooks: []iommu.RequestHook{iommu.RequestHookFunc(
+				func(now sim.VTime, req *xlat.Request) { tracker.Touch(uint64(req.VPN)) })},
 		})
 		if err != nil {
 			return t, err

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"hdpat/internal/config"
+	"hdpat/internal/metrics"
 	"hdpat/internal/runner"
 	"hdpat/internal/sim"
 	"hdpat/internal/wafer"
@@ -114,6 +115,10 @@ type Session struct {
 	cache map[string]wafer.Result
 	// Runs counts actual (non-cached) simulations, for reporting.
 	Runs int
+	// Metrics, when set, receives runner.* batch-throughput series from the
+	// warm-up pools, so a live endpoint (metrics.ListenAndServe) can report
+	// progress while figures regenerate.
+	Metrics *metrics.Registry
 }
 
 // NewSession creates a session.
@@ -148,10 +153,11 @@ func runKey(cfg config.System, scheme, bench string, opts wafer.Options) string 
 		opts.OpsBudget)
 }
 
-// plainRun reports whether a run is memoisable (no observers or series,
-// which attach per-call state the cache cannot share).
+// plainRun reports whether a run is memoisable (no hooks, observability
+// sinks or series, which attach per-call state the cache cannot share).
 func plainRun(opts wafer.Options) bool {
-	return opts.Observer == nil && opts.QueueWindow == 0 && opts.ServedWindow == 0
+	return len(opts.Hooks) == 0 && opts.Metrics == nil && opts.Trace == nil &&
+		opts.QueueWindow == 0 && opts.ServedWindow == 0
 }
 
 // execute performs one simulation with the session's defaults applied. It
@@ -230,7 +236,7 @@ func (s *Session) warm(jobs []simJob) error {
 			return s.execute(ctx, j.cfg, j.scheme, j.bench, j.opts)
 		}
 	}
-	pool := &runner.Pool{Workers: s.P.Workers}
+	pool := &runner.Pool{Workers: s.P.Workers, Metrics: s.Metrics}
 	for i, out := range pool.Run(context.Background(), tasks) {
 		if out.Err != nil {
 			return fmt.Errorf("experiments: %s/%s: %w", pending[i].scheme, pending[i].bench, out.Err)

@@ -9,11 +9,12 @@ import (
 // trace with bounded memory-level parallelism (cfg.MLP outstanding ops) and
 // a fixed issue gap modelling the kernel's compute intensity.
 type cuState struct {
-	trace    []vm.VAddr
-	next     int
-	inflight int
-	stalled  bool // true when issue is waiting for an op to retire
-	armed    bool // an issue event is scheduled
+	trace      []vm.VAddr
+	next       int
+	inflight   int
+	stalled    bool      // true when issue is waiting for an op to retire
+	stallSince sim.VTime // cycle the current stall began, for stall accounting
+	armed      bool      // an issue event is scheduled
 }
 
 // LoadTrace assigns the address trace CU cu will execute.
@@ -65,12 +66,16 @@ func (g *GPM) issue(cu int) {
 	}
 	if c.inflight >= g.cfg.MLP {
 		c.stalled = true
+		c.stallSince = g.eng.Now()
 		return
 	}
 	va := c.trace[c.next]
 	c.next++
 	c.inflight++
 	g.Stats.OpsIssued++
+	if g.m != nil {
+		g.m.opsIssued.Inc()
+	}
 	g.Translate(cu, va, func(pte vm.PTE) {
 		g.Access(cu, va, pte, func() { g.opDone(cu) })
 	})
@@ -84,7 +89,15 @@ func (g *GPM) opDone(cu int) {
 	c := &g.cus[cu]
 	c.inflight--
 	g.Stats.OpsCompleted++
+	if g.m != nil {
+		g.m.opsCompleted.Inc()
+	}
 	if c.stalled && !c.armed {
+		stalled := uint64(g.eng.Now() - c.stallSince)
+		g.Stats.CUStallCycles += stalled
+		if g.m != nil {
+			g.m.stallCycles.Add(stalled)
+		}
 		c.stalled = false
 		c.armed = true
 		g.eng.Schedule(0, func() { g.issue(cu) })

@@ -14,6 +14,7 @@ import (
 	"hdpat/internal/cuckoo"
 	"hdpat/internal/dram"
 	"hdpat/internal/geom"
+	"hdpat/internal/metrics"
 	"hdpat/internal/sim"
 	"hdpat/internal/tlb"
 	"hdpat/internal/vm"
@@ -49,6 +50,10 @@ type Stats struct {
 	FinishTime sim.VTime
 
 	MSHRRetries uint64
+
+	// CUStallCycles accumulates cycles CUs spent unable to issue because
+	// their MLP window was full — the per-GPM translation-pressure signal.
+	CUStallCycles uint64
 }
 
 // GPM is one GPU processing module on the wafer.
@@ -98,7 +103,45 @@ type GPM struct {
 	// l2DataWait queues data misses stalled on full L2 cache MSHRs.
 	l2DataWait []func()
 
+	// m mirrors GPM activity into an attached registry; counters are shared
+	// across GPMs (same names), aggregating the wafer.
+	m *gpmMetrics
+
 	Stats Stats
+}
+
+// gpmMetrics are the GPM-side registry series.
+type gpmMetrics struct {
+	opsIssued    *metrics.Counter
+	opsCompleted *metrics.Counter
+	stallCycles  *metrics.Counter
+	remoteReqs   *metrics.Counter
+	probes       *metrics.Counter
+	probeHits    *metrics.Counter
+	remoteLat    *metrics.Histogram
+}
+
+// AttachMetrics mirrors this GPM's activity into reg. All GPMs attach to
+// the same series names, so the registry aggregates the wafer: per-level
+// TLB hit/miss counters (tlb.l1, tlb.l2, tlb.ll, tlb.aux), op issue and
+// stall counters (gpm.*), and the remote-translation latency histogram.
+func (g *GPM) AttachMetrics(reg *metrics.Registry) {
+	g.m = &gpmMetrics{
+		opsIssued:    reg.Counter("gpm.ops.issued"),
+		opsCompleted: reg.Counter("gpm.ops.completed"),
+		stallCycles:  reg.Counter("gpm.cu.stall_cycles"),
+		remoteReqs:   reg.Counter("gpm.remote.requests"),
+		probes:       reg.Counter("gpm.probes.served"),
+		probeHits:    reg.Counter("gpm.probes.hits"),
+		remoteLat:    reg.Histogram("gpm.remote.latency"),
+	}
+	l1Hits, l1Misses := reg.Counter("tlb.l1.hits"), reg.Counter("tlb.l1.misses")
+	for _, t := range g.l1TLBs {
+		t.AttachMetrics(l1Hits, l1Misses)
+	}
+	g.l2TLB.AttachMetrics(reg.Counter("tlb.l2.hits"), reg.Counter("tlb.l2.misses"))
+	g.llTLB.AttachMetrics(reg.Counter("tlb.ll.hits"), reg.Counter("tlb.ll.misses"))
+	g.aux.AttachMetrics(reg.Counter("tlb.aux.hits"), reg.Counter("tlb.aux.misses"))
 }
 
 // New builds a GPM with the given configuration. The local page table must
@@ -243,10 +286,16 @@ func (g *GPM) walkLocal(k tlb.Key, done func(vm.PTE, bool)) {
 // goRemote hands the translation to the active scheme.
 func (g *GPM) goRemote(k tlb.Key) {
 	g.Stats.RemoteRequests++
+	if g.m != nil {
+		g.m.remoteReqs.Inc()
+	}
 	issued := g.eng.Now()
 	req := xlat.NewRequest(g.NextReqID(), k.PID, k.VPN, g.ID, issued, func(res xlat.Result) {
 		g.Stats.RemoteBySource[res.Source]++
 		g.Stats.RemoteLatencySum += uint64(g.eng.Now() - issued)
+		if g.m != nil {
+			g.m.remoteLat.Observe(uint64(g.eng.Now() - issued))
+		}
 		g.l2TLB.Insert(res.PTE)
 		g.completeL2(k, res.PTE)
 	})
@@ -261,6 +310,9 @@ func (g *GPM) goRemote(k tlb.Key) {
 // whether it hit.
 func (g *GPM) ProbeAux(k tlb.Key, latency sim.VTime, done func(vm.PTE, xlat.PushOrigin, bool)) {
 	g.Stats.ProbesServed++
+	if g.m != nil {
+		g.m.probes.Inc()
+	}
 	_, end := g.probePort.Occupy(g.eng.Now(), latency)
 	g.eng.At(end, func() {
 		if !g.aux.MightHave(k) {
@@ -270,6 +322,9 @@ func (g *GPM) ProbeAux(k tlb.Key, latency sim.VTime, done func(vm.PTE, xlat.Push
 		pte, origin, ok := g.aux.Probe(k)
 		if ok {
 			g.Stats.ProbeHits++
+			if g.m != nil {
+				g.m.probeHits.Inc()
+			}
 		}
 		done(pte, origin, ok)
 	})
@@ -278,11 +333,17 @@ func (g *GPM) ProbeAux(k tlb.Key, latency sim.VTime, done func(vm.PTE, xlat.Push
 // ProbeL2TLB services a Valkyrie-style neighbour probe of the shared L2 TLB.
 func (g *GPM) ProbeL2TLB(k tlb.Key, done func(vm.PTE, bool)) {
 	g.Stats.ProbesServed++
+	if g.m != nil {
+		g.m.probes.Inc()
+	}
 	_, end := g.probePort.Occupy(g.eng.Now(), g.l2TLB.Latency())
 	g.eng.At(end, func() {
 		pte, ok := g.l2TLB.Peek(k)
 		if ok {
 			g.Stats.ProbeHits++
+			if g.m != nil {
+				g.m.probeHits.Inc()
+			}
 		}
 		done(pte, ok)
 	})

@@ -9,13 +9,30 @@ package iommu
 import (
 	"hdpat/internal/config"
 	"hdpat/internal/geom"
+	"hdpat/internal/metrics"
 	"hdpat/internal/noc"
 	"hdpat/internal/sim"
 	"hdpat/internal/stats"
 	"hdpat/internal/tlb"
+	"hdpat/internal/trace"
 	"hdpat/internal/vm"
 	"hdpat/internal/xlat"
 )
+
+// RequestHook observes every translation request arriving at the IOMMU.
+// Hooks are observation points only: they run synchronously at arrival time
+// and must not schedule events or complete requests, so an attached hook
+// never perturbs simulation results. It replaces the old Observer field;
+// characterisation trackers, served-rate series and tests all attach here.
+type RequestHook interface {
+	IOMMURequest(now sim.VTime, req *xlat.Request)
+}
+
+// RequestHookFunc adapts a function to the RequestHook interface.
+type RequestHookFunc func(now sim.VTime, req *xlat.Request)
+
+// IOMMURequest implements RequestHook.
+func (f RequestHookFunc) IOMMURequest(now sim.VTime, req *xlat.Request) { f(now, req) }
 
 // Stats aggregates IOMMU activity.
 type Stats struct {
@@ -71,13 +88,66 @@ type IOMMU struct {
 	// Redirect forwards a redirected request to the given GPM. Nil when
 	// redirection is disabled.
 	Redirect func(req *xlat.Request, gpm int)
-	// Observer, when set, sees every arriving request (characterisation
-	// harnesses attach reuse/spatial trackers here).
-	Observer func(now sim.VTime, req *xlat.Request)
 	// QueueSeries, when set, records combined queue depth over time (Fig 4).
 	QueueSeries *stats.TimeSeries
+	// Trace, when non-nil, receives queue-residency and walk spans.
+	Trace *trace.Tracer
+
+	// hooks observe arriving requests in registration order (AddHook).
+	hooks []RequestHook
+	// m mirrors IOMMU activity into an attached registry (AttachMetrics).
+	m *iommuMetrics
 
 	Stats Stats
+}
+
+// iommuMetrics are the IOMMU's registry series.
+type iommuMetrics struct {
+	requests    *metrics.Counter
+	walks       *metrics.Counter
+	redirects   *metrics.Counter
+	revisits    *metrics.Counter
+	prefetches  *metrics.Counter
+	pushDemand  *metrics.Counter
+	pushPref    *metrics.Counter
+	tlbBlocked  *metrics.Counter
+	queueDepth  *metrics.Gauge
+	queuePeak   *metrics.Gauge
+	walkersBusy *metrics.Gauge
+	latency     *metrics.Histogram
+}
+
+// AddHook registers h to observe every request arriving at the IOMMU.
+func (io *IOMMU) AddHook(h RequestHook) {
+	if h != nil {
+		io.hooks = append(io.hooks, h)
+	}
+}
+
+// AttachMetrics mirrors IOMMU activity into reg: arrival/walk/redirect/
+// revisit/prefetch/push counters, queue-depth and walker-occupancy gauges,
+// and an iommu.latency histogram of arrival-to-walk-completion cycles. The
+// iommu.walkers gauge carries the configured walker count so the IOMMU is
+// visible in a snapshot even for schemes that fully offload it.
+func (io *IOMMU) AttachMetrics(reg *metrics.Registry) {
+	io.m = &iommuMetrics{
+		requests:    reg.Counter("iommu.requests"),
+		walks:       reg.Counter("iommu.walks"),
+		redirects:   reg.Counter("iommu.redirects"),
+		revisits:    reg.Counter("iommu.revisits"),
+		prefetches:  reg.Counter("iommu.prefetches"),
+		pushDemand:  reg.Counter("iommu.pushes.demand"),
+		pushPref:    reg.Counter("iommu.pushes.prefetch"),
+		tlbBlocked:  reg.Counter("iommu.tlb.mshr_blocked"),
+		queueDepth:  reg.Gauge("iommu.queue.depth"),
+		queuePeak:   reg.Gauge("iommu.queue.peak"),
+		walkersBusy: reg.Gauge("iommu.walkers.busy"),
+		latency:     reg.Histogram("iommu.latency"),
+	}
+	reg.Gauge("iommu.walkers").Set(int64(io.cfg.Walkers))
+	if io.iotlb != nil {
+		io.iotlb.AttachMetrics(reg.Counter("iommu.tlb.hits"), reg.Counter("iommu.tlb.misses"))
+	}
 }
 
 // New builds an IOMMU on the CPU tile.
@@ -113,6 +183,10 @@ func (io *IOMMU) noteQueue() {
 	if io.QueueSeries != nil {
 		io.QueueSeries.Record(uint64(io.eng.Now()), float64(d))
 	}
+	if io.m != nil {
+		io.m.queueDepth.Set(int64(d))
+		io.m.queuePeak.Max(int64(d))
+	}
 }
 
 // Submit receives a translation request that has arrived at the CPU tile.
@@ -120,8 +194,11 @@ func (io *IOMMU) noteQueue() {
 // must walk rather than consult the redirection table again.
 func (io *IOMMU) Submit(req *xlat.Request, noRedirect bool) {
 	io.Stats.Requests++
-	if io.Observer != nil {
-		io.Observer(io.eng.Now(), req)
+	if io.m != nil {
+		io.m.requests.Inc()
+	}
+	for _, h := range io.hooks {
+		h.IOMMURequest(io.eng.Now(), req)
 	}
 	j := &job{req: req, arrived: io.eng.Now(), noRedirect: noRedirect}
 	k := tlb.Key{PID: req.PID, VPN: req.VPN}
@@ -133,6 +210,9 @@ func (io *IOMMU) Submit(req *xlat.Request, noRedirect bool) {
 		io.eng.Schedule(io.rtProbe, func() {
 			if gpm, ok := io.rt.Lookup(k); ok && io.Redirect != nil {
 				io.Stats.RTRedirects++
+				if io.m != nil {
+					io.m.redirects.Inc()
+				}
 				io.Redirect(req, gpm)
 				return
 			}
@@ -166,6 +246,9 @@ func (io *IOMMU) tryTLB(j *job, k tlb.Key) {
 		// All MSHRs occupied: the request stalls outside the TLB (§V-E)
 		// until a register frees.
 		io.Stats.MSHRBlocked++
+		if io.m != nil {
+			io.m.tlbBlocked.Inc()
+		}
 		io.tlbWait = append(io.tlbWait, func() { io.tryTLB(j, k) })
 		return
 	}
@@ -207,11 +290,17 @@ func (io *IOMMU) dispatch() {
 			k := tlb.Key{PID: j.req.PID, VPN: j.req.VPN}
 			if gpm, ok := io.rt.Lookup(k); ok {
 				io.Stats.RTRedirects++
+				if io.m != nil {
+					io.m.redirects.Inc()
+				}
 				io.Redirect(j.req, gpm)
 				continue
 			}
 		}
 		io.busy++
+		if io.m != nil {
+			io.m.walkersBusy.Set(int64(io.busy))
+		}
 		start := io.eng.Now()
 		service := io.cfg.WalkCycles
 		if io.cfg.PrefetchDegree > 1 {
@@ -239,6 +328,20 @@ func (io *IOMMU) walkDone(j *job, started sim.VTime, service sim.VTime) {
 		uint64(started-j.enqueued),
 		uint64(service),
 	)
+	if io.m != nil {
+		io.m.walks.Inc()
+		io.m.walkersBusy.Set(int64(io.busy))
+		io.m.latency.Observe(uint64(io.eng.Now() - j.arrived))
+	}
+	if io.Trace != nil {
+		if j.enqueued > j.arrived {
+			io.Trace.QueueSpan("iommu.admission", uint64(j.arrived), uint64(j.enqueued), j.req.ID)
+		}
+		if started > j.enqueued {
+			io.Trace.QueueSpan("iommu.pwq", uint64(j.enqueued), uint64(started), j.req.ID)
+		}
+		io.Trace.WalkSpan(uint64(started), uint64(started+service), j.req.ID, uint64(j.req.VPN))
+	}
 	k := tlb.Key{PID: j.req.PID, VPN: j.req.VPN}
 	pte, _, found := io.global.Lookup(k.VPN)
 	io.counts[k]++
@@ -263,6 +366,9 @@ func (io *IOMMU) walkDone(j *job, started sim.VTime, service sim.VTime) {
 	if found && io.Push != nil && io.counts[k] >= io.cfg.PushThreshold {
 		if gpm, ok := io.Push(pte, xlat.PushDemand); ok {
 			io.Stats.PushesDemand++
+			if io.m != nil {
+				io.m.pushDemand.Inc()
+			}
 			pushedTo = gpm
 		}
 	}
@@ -281,6 +387,9 @@ func (io *IOMMU) walkDone(j *job, started sim.VTime, service sim.VTime) {
 				continue
 			}
 			io.Stats.Prefetches++
+			if io.m != nil {
+				io.m.prefetches.Inc()
+			}
 			if io.iotlb != nil {
 				io.iotlb.Insert(npte)
 				continue
@@ -288,6 +397,9 @@ func (io *IOMMU) walkDone(j *job, started sim.VTime, service sim.VTime) {
 			if io.Push != nil {
 				if gpm, ok := io.Push(npte, xlat.PushPrefetch); ok {
 					io.Stats.PushesPref++
+					if io.m != nil {
+						io.m.pushPref.Inc()
+					}
 					if io.rt != nil && d == 1 {
 						io.rt.Insert(nk, gpm)
 					}
@@ -314,6 +426,9 @@ func (io *IOMMU) revisit(k tlb.Key, pte vm.PTE, found bool) {
 	for _, j := range io.pwq {
 		if j.req.PID == k.PID && j.req.VPN == k.VPN {
 			io.Stats.Revisits++
+			if io.m != nil {
+				io.m.revisits.Inc()
+			}
 			if io.iotlb != nil {
 				io.completeTLBMSHR(tlb.Key{PID: j.req.PID, VPN: j.req.VPN}, pte, true)
 			} else {

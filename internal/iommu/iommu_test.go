@@ -313,19 +313,19 @@ func TestIOMMUTLBMSHRCoalesces(t *testing.T) {
 	}
 }
 
-func TestQueueSeriesAndObserver(t *testing.T) {
+func TestQueueSeriesAndHooks(t *testing.T) {
 	cfg := config.DefaultIOMMU()
 	cfg.Walkers = 1
 	h := newHarness(t, cfg, 100)
 	h.io.QueueSeries = stats.NewMaxSeries(100)
 	var observed []vm.VPN
-	h.io.Observer = func(now sim.VTime, req *xlat.Request) { observed = append(observed, req.VPN) }
+	h.io.AddHook(RequestHookFunc(func(now sim.VTime, req *xlat.Request) { observed = append(observed, req.VPN) }))
 	for v := vm.VPN(1); v <= 5; v++ {
 		h.io.Submit(h.request(v, func(xlat.Result) {}), false)
 	}
 	h.eng.Run()
 	if len(observed) != 5 {
-		t.Errorf("observer saw %d requests", len(observed))
+		t.Errorf("hook saw %d requests", len(observed))
 	}
 	if h.io.QueueSeries.Peak() < 3 {
 		t.Errorf("queue series peak = %f", h.io.QueueSeries.Peak())

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Progress describes a live session for the /progress endpoint: how far a
+// batch or experiment sweep has advanced while it is still simulating.
+type Progress struct {
+	// Phase names what is currently running (an experiment id, "batch", ...).
+	Phase string `json:"phase,omitempty"`
+	// Done and Total count settled vs submitted runs of the current phase.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Runs counts simulations completed across the whole session.
+	Runs int `json:"runs"`
+}
+
+// Handler serves the registry's current values in the Prometheus text
+// exposition format.
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(reg.Snapshot().Prometheus()))
+	})
+}
+
+// JSONHandler serves the registry's current values as a JSON snapshot.
+func JSONHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		out, err := reg.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(out)
+	})
+}
+
+// ProgressHandler serves fn's current Progress as JSON.
+func ProgressHandler(fn func() Progress) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(fn())
+	})
+}
+
+// Mux wires the standard observability endpoints — /metrics (Prometheus
+// text), /metrics.json, and /progress (when progress is non-nil) — so a
+// live batch or experiments session can be watched while it simulates.
+func Mux(reg *Registry, progress func() Progress) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.Handle("/metrics.json", JSONHandler(reg))
+	if progress != nil {
+		mux.Handle("/progress", ProgressHandler(progress))
+	}
+	return mux
+}
+
+// ListenAndServe serves Mux(reg, progress) on addr; it blocks like
+// http.ListenAndServe and is normally launched in a goroutine beside the
+// simulation.
+func ListenAndServe(addr string, reg *Registry, progress func() Progress) error {
+	return http.ListenAndServe(addr, Mux(reg, progress))
+}

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("tlb.l2.hits").Add(5)
+	reg.Histogram("iommu.latency").Observe(123)
+	srv := httptest.NewServer(Mux(reg, func() Progress {
+		return Progress{Phase: "fig14", Done: 2, Total: 8, Runs: 13}
+	}))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(body, "hdpat_tlb_l2_hits 5") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "hdpat_iommu_latency_count 1") {
+		t.Errorf("/metrics missing histogram:\n%s", body)
+	}
+
+	body, ct = get("/metrics.json")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/metrics.json content type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json parse: %v", err)
+	}
+	if snap.Counter("tlb.l2.hits") != 5 {
+		t.Errorf("/metrics.json counter = %d", snap.Counter("tlb.l2.hits"))
+	}
+
+	body, _ = get("/progress")
+	var p Progress
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("/progress parse: %v", err)
+	}
+	if p.Phase != "fig14" || p.Done != 2 || p.Total != 8 || p.Runs != 13 {
+		t.Errorf("/progress = %+v", p)
+	}
+}
+
+func TestMuxWithoutProgress(t *testing.T) {
+	srv := httptest.NewServer(Mux(NewRegistry(), nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("/progress without fn: status %d, want 404", resp.StatusCode)
+	}
+}

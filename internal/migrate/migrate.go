@@ -15,8 +15,10 @@ package migrate
 
 import (
 	"hdpat/internal/core"
+	"hdpat/internal/metrics"
 	"hdpat/internal/sim"
 	"hdpat/internal/tlb"
+	"hdpat/internal/trace"
 	"hdpat/internal/vm"
 	"hdpat/internal/xlat"
 )
@@ -67,6 +69,30 @@ type Manager struct {
 	inflight int
 
 	Stats Stats
+
+	// Trace, when non-nil, receives one span per migration (from decision to
+	// destination write completion).
+	Trace *trace.Tracer
+
+	m *migrateMetrics
+}
+
+// migrateMetrics are the manager's registry series.
+type migrateMetrics struct {
+	migrations, bytesMoved, dropped, skipShare, skipBusy *metrics.Counter
+}
+
+// AttachMetrics mirrors migration activity into reg: migrate.migrations,
+// migrate.bytes_moved, migrate.shootdown_dropped, migrate.skipped.shared and
+// migrate.skipped.busy counters.
+func (m *Manager) AttachMetrics(reg *metrics.Registry) {
+	m.m = &migrateMetrics{
+		migrations: reg.Counter("migrate.migrations"),
+		bytesMoved: reg.Counter("migrate.bytes_moved"),
+		dropped:    reg.Counter("migrate.shootdown_dropped"),
+		skipShare:  reg.Counter("migrate.skipped.shared"),
+		skipBusy:   reg.Counter("migrate.skipped.busy"),
+	}
 }
 
 // New creates a manager over an assembled fabric (Placement must be set).
@@ -115,11 +141,17 @@ func (m *Manager) observe(req *xlat.Request) {
 	// Dominance check: a page most GPMs share must stay put.
 	if n*m.cfg.DominanceDen < h.total*m.cfg.DominanceNum {
 		m.Stats.SkippedShare++
+		if m.m != nil {
+			m.m.skipShare.Inc()
+		}
 		return
 	}
 	now := m.f.Eng.Now()
 	if m.inflight >= m.cfg.MaxInflight || (h.moved && now-h.lastMoved < m.cfg.Cooldown) {
 		m.Stats.SkippedBusy++
+		if m.m != nil {
+			m.m.skipBusy.Inc()
+		}
 		return
 	}
 	m.migrate(k, req.Requester, h)
@@ -134,7 +166,8 @@ func (m *Manager) migrate(k tlb.Key, to int, h *pageHeat) {
 	}
 	m.inflight++
 	h.moved = true
-	h.lastMoved = m.f.Eng.Now()
+	started := m.f.Eng.Now()
+	h.lastMoved = started
 	// Reset the heat so post-migration traffic is judged afresh.
 	h.byGPM = make(map[int]uint32)
 	h.total = 0
@@ -144,6 +177,9 @@ func (m *Manager) migrate(k tlb.Key, to int, h *pageHeat) {
 
 	m.f.Shootdown(k.PID, []vm.VPN{k.VPN}, func(dropped int) {
 		m.Stats.Dropped += uint64(dropped)
+		if m.m != nil {
+			m.m.dropped.Add(uint64(dropped))
+		}
 		// Copy the page: one transfer over the mesh from the old owner,
 		// charged against link bandwidth, plus HBM time at both ends.
 		pageBytes := int(m.f.GPMs[0].PageSize())
@@ -152,6 +188,13 @@ func (m *Manager) migrate(k tlb.Key, to int, h *pageHeat) {
 			target.ServeLine(0, func() { // destination write
 				m.Stats.Migrations++
 				m.Stats.BytesMoved += uint64(pageBytes)
+				if m.m != nil {
+					m.m.migrations.Inc()
+					m.m.bytesMoved.Add(uint64(pageBytes))
+				}
+				if m.Trace != nil {
+					m.Trace.MigrationSpan(uint64(started), uint64(m.f.Eng.Now()), uint64(k.VPN), old.Owner, to)
+				}
 				m.inflight--
 			})
 		})

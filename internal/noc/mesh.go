@@ -11,7 +11,9 @@ import (
 	"fmt"
 
 	"hdpat/internal/geom"
+	"hdpat/internal/metrics"
 	"hdpat/internal/sim"
+	"hdpat/internal/trace"
 )
 
 // Config describes the mesh links. At 1 GHz, 768 GB/s is 768 B/cycle.
@@ -46,6 +48,19 @@ type Mesh struct {
 	// links[from][dir]: four directed output links per tile.
 	links []([4]*link)
 	Stats Stats
+
+	// Trace, when non-nil, receives one span per link traversal.
+	Trace *trace.Tracer
+
+	reg *metrics.Registry
+	m   *meshMetrics
+}
+
+// meshMetrics are the mesh's hot-path registry series.
+type meshMetrics struct {
+	messages *metrics.Counter
+	byteHops *metrics.Counter
+	hops     *metrics.Histogram
 }
 
 // direction indices
@@ -65,6 +80,43 @@ func New(eng *sim.Engine, layout *geom.Mesh, cfg Config) *Mesh {
 		}
 	}
 	return m
+}
+
+// AttachMetrics mirrors mesh activity into reg: noc.messages and
+// noc.byte_hops counters plus a noc.hops histogram (hops per message).
+// FlushMetrics adds the per-link utilisation gauges at end of run.
+func (m *Mesh) AttachMetrics(reg *metrics.Registry) {
+	m.reg = reg
+	m.m = &meshMetrics{
+		messages: reg.Counter("noc.messages"),
+		byteHops: reg.Counter("noc.byte_hops"),
+		hops:     reg.Histogram("noc.hops"),
+	}
+}
+
+// dirNames label the four directed output links in exposition series.
+var dirNames = [4]string{"e", "w", "s", "n"}
+
+// FlushMetrics publishes the per-link busy-cycle gauges
+// (noc.link.busy.x<X>y<Y>.<dir>, non-idle links only) and the
+// noc.links.busy_total aggregate into the attached registry. Link occupancy
+// accumulates monotonically, so this is called once when a run settles.
+func (m *Mesh) FlushMetrics() {
+	if m.reg == nil {
+		return
+	}
+	var total sim.VTime
+	for i := range m.links {
+		c := m.layout.CoordOf(i)
+		for d := 0; d < 4; d++ {
+			busy := m.links[i][d].line.BusyCycles
+			total += busy
+			if busy > 0 {
+				m.reg.Gauge(fmt.Sprintf("noc.link.busy.x%dy%d.%s", c.X, c.Y, dirNames[d])).Set(int64(busy))
+			}
+		}
+	}
+	m.reg.Gauge("noc.links.busy_total").Set(int64(total))
 }
 
 // Layout returns the wafer geometry the mesh routes over.
@@ -98,6 +150,11 @@ func (m *Mesh) Send(src, dst geom.Coord, size int, deliver func()) {
 	}
 	m.Stats.HopsTotal += uint64(len(path))
 	m.Stats.ByteHops += uint64(size) * uint64(len(path))
+	if m.m != nil {
+		m.m.messages.Inc()
+		m.m.byteHops.Add(uint64(size) * uint64(len(path)))
+		m.m.hops.Observe(uint64(len(path)))
+	}
 	if len(path) == 0 {
 		m.eng.Schedule(1, deliver)
 		return
@@ -120,6 +177,9 @@ func (m *Mesh) hop(cur geom.Coord, path []geom.Coord, i, size int, deliver func(
 	now := m.eng.Now()
 	_, end := l.line.Occupy(now, hold)
 	arrive := end + m.cfg.HopLatency
+	if m.Trace != nil {
+		m.Trace.HopSpan(uint64(now), uint64(arrive), cur.X, cur.Y, next.X, next.Y, size)
+	}
 	m.eng.At(arrive, func() {
 		if i+1 == len(path) {
 			deliver()

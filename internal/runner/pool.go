@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hdpat/internal/metrics"
 	"hdpat/internal/sim"
 	"hdpat/internal/wafer"
 )
@@ -66,6 +67,12 @@ type Pool struct {
 	// the batch size. Calls are serialised; done is strictly increasing from
 	// 1 to total.
 	Progress func(done, total int, out Outcome)
+	// Metrics, when set, receives batch throughput series as tasks settle:
+	// runner.runs and runner.errors counters, a runner.sim_cycles counter of
+	// simulated cycles completed, and a runner.wall_ms histogram of per-run
+	// wall time. Safe to scrape live (e.g. via metrics.ListenAndServe) while
+	// the batch runs.
+	Metrics *metrics.Registry
 }
 
 // Run executes every task and returns their outcomes indexed by submission
@@ -94,6 +101,15 @@ func (p *Pool) Run(ctx context.Context, tasks []Task) []Outcome {
 	)
 	settle := func(out Outcome) {
 		outs[out.Index] = out
+		if p.Metrics != nil {
+			p.Metrics.Counter("runner.runs").Inc()
+			if out.Err != nil {
+				p.Metrics.Counter("runner.errors").Inc()
+			} else {
+				p.Metrics.Counter("runner.sim_cycles").Add(uint64(out.Result.Cycles))
+			}
+			p.Metrics.Histogram("runner.wall_ms").Observe(uint64(out.Wall.Milliseconds()))
+		}
 		if p.Progress == nil {
 			return
 		}

@@ -11,6 +11,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"hdpat/internal/metrics"
 )
 
 // VTime is a point in simulated time, in cycles.
@@ -52,6 +54,36 @@ type Engine struct {
 	// Processed counts events executed so far; useful for progress reporting
 	// and for bounding runaway simulations in tests.
 	Processed uint64
+
+	// m mirrors dispatch activity into an attached metrics registry; nil
+	// (the default) costs one branch per event.
+	m *engineMetrics
+}
+
+// engineMetrics are the engine's registry series.
+type engineMetrics struct {
+	events *metrics.Counter
+	heap   *metrics.Gauge
+	peak   *metrics.Gauge
+}
+
+// AttachMetrics mirrors the engine's dispatch activity into reg:
+// sim.events_dispatched (counter), sim.heap_depth (gauge, pending events
+// after the latest dispatch) and sim.heap_peak (gauge, deepest heap seen).
+// Attaching does not perturb event order — metrics only observe.
+func (e *Engine) AttachMetrics(reg *metrics.Registry) {
+	e.m = &engineMetrics{
+		events: reg.Counter("sim.events_dispatched"),
+		heap:   reg.Gauge("sim.heap_depth"),
+		peak:   reg.Gauge("sim.heap_peak"),
+	}
+}
+
+// note records one dispatched event in the attached registry.
+func (m *engineMetrics) note(pending int) {
+	m.events.Inc()
+	m.heap.Set(int64(pending))
+	m.peak.Max(int64(pending))
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -106,6 +138,9 @@ func (e *Engine) RunUntil(limit VTime) {
 		ev := e.events.popEvent()
 		e.now = ev.time
 		e.Processed++
+		if e.m != nil {
+			e.m.note(len(e.events))
+		}
 		ev.fn()
 	}
 }
@@ -118,6 +153,9 @@ func (e *Engine) Step() bool {
 	ev := e.events.popEvent()
 	e.now = ev.time
 	e.Processed++
+	if e.m != nil {
+		e.m.note(len(e.events))
+	}
 	ev.fn()
 	return true
 }

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"hdpat/internal/metrics"
 )
 
 func TestEngineOrdering(t *testing.T) {
@@ -234,5 +236,122 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 			e.Schedule(VTime(j%17), func() {})
 		}
 		e.Run()
+	}
+}
+
+func TestEngineNextTimeEmpty(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextTime(); ok {
+		t.Error("NextTime on an empty heap reported ok")
+	}
+	e.Schedule(5, func() {})
+	if next, ok := e.NextTime(); !ok || next != 5 {
+		t.Errorf("NextTime = %d, %v, want 5, true", next, ok)
+	}
+	e.Run()
+	if _, ok := e.NextTime(); ok {
+		t.Error("NextTime after drain reported ok")
+	}
+}
+
+func TestEngineScheduleAtCurrentCycle(t *testing.T) {
+	// Zero-delay events scheduled from a handler run later in the same
+	// cycle, after already-queued same-cycle events, and At(now) is legal.
+	e := NewEngine()
+	var order []string
+	e.At(10, func() {
+		order = append(order, "first")
+		e.Schedule(0, func() { order = append(order, "nested") })
+		e.At(e.Now(), func() { order = append(order, "at-now") })
+	})
+	e.At(10, func() { order = append(order, "second") })
+	e.Run()
+	if e.Now() != 10 {
+		t.Errorf("clock = %d, want 10", e.Now())
+	}
+	want := []string{"first", "second", "nested", "at-now"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestEngineStopMidDrainDeterminism stops a run partway, resumes it, and
+// checks the event order matches an uninterrupted run — with and without
+// metrics attached, which must not perturb dispatch in any way.
+func TestEngineStopMidDrainDeterminism(t *testing.T) {
+	build := func(e *Engine, log *[]int) {
+		for i := 0; i < 20; i++ {
+			i := i
+			e.At(VTime(i%7), func() {
+				*log = append(*log, i)
+				if i == 3 {
+					e.Schedule(2, func() { *log = append(*log, 100+i) })
+				}
+			})
+		}
+	}
+
+	var plain []int
+	ep := NewEngine()
+	build(ep, &plain)
+	ep.Run()
+
+	var sliced []int
+	es := NewEngine()
+	es.AttachMetrics(metrics.NewRegistry())
+	build(es, &sliced)
+	for i := 0; es.Pending() > 0 && i < 1000; i++ {
+		// Stop after every event: the worst-case drain interruption.
+		es.At(es.Now(), func() {})
+		es.Step()
+		es.Stop()
+		es.Run()
+	}
+	// Filter out the no-op stopper events' absence: sliced should contain
+	// exactly the same payload sequence.
+	if len(sliced) != len(plain) {
+		t.Fatalf("sliced log %v != plain %v", sliced, plain)
+	}
+	for i := range plain {
+		if sliced[i] != plain[i] {
+			t.Fatalf("order diverged at %d: %v vs %v", i, sliced, plain)
+		}
+	}
+}
+
+func TestEngineMetricsObserveOnly(t *testing.T) {
+	reg := metrics.NewRegistry()
+	run := func(e *Engine) []int {
+		var log []int
+		for i := 0; i < 10; i++ {
+			i := i
+			e.Schedule(VTime(10-i), func() { log = append(log, i) })
+		}
+		e.Run()
+		return log
+	}
+	a := run(NewEngine())
+	em := NewEngine()
+	em.AttachMetrics(reg)
+	b := run(em)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("metrics perturbed order: %v vs %v", a, b)
+		}
+	}
+	s := reg.Snapshot()
+	if s.Counter("sim.events_dispatched") != 10 {
+		t.Errorf("events_dispatched = %d", s.Counter("sim.events_dispatched"))
+	}
+	if s.Gauge("sim.heap_peak") < 1 {
+		t.Errorf("heap_peak = %d", s.Gauge("sim.heap_peak"))
+	}
+	if s.Gauge("sim.heap_depth") != 0 {
+		t.Errorf("heap_depth after drain = %d", s.Gauge("sim.heap_depth"))
 	}
 }

@@ -10,6 +10,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"hdpat/internal/metrics"
 )
 
 // Mean returns the arithmetic mean of xs (0 for empty input).
@@ -58,9 +60,11 @@ func Percentile(xs []float64, p float64) float64 {
 }
 
 // Histogram is a log2-bucketed histogram for wide-ranged counts such as
-// reuse distances (Fig 7 spans 1 to hundreds of thousands).
+// reuse distances (Fig 7 spans 1 to hundreds of thousands). Bucketing
+// follows metrics.Log2Bucket — the repository's single log2-bucket rule —
+// so stats and metrics histograms agree bucket for bucket.
 type Histogram struct {
-	buckets []uint64 // buckets[i] counts values in [2^(i-1), 2^i), bucket 0 = {0}
+	buckets []uint64 // buckets[i] counts values in metrics.BucketRange(i), bucket 0 = {0}
 	total   uint64
 	sum     float64
 	max     uint64
@@ -68,10 +72,7 @@ type Histogram struct {
 
 // Add records v.
 func (h *Histogram) Add(v uint64) {
-	b := 0
-	if v > 0 {
-		b = bitsLen(v)
-	}
+	b := metrics.Log2Bucket(v)
 	for len(h.buckets) <= b {
 		h.buckets = append(h.buckets, 0)
 	}
@@ -81,15 +82,6 @@ func (h *Histogram) Add(v uint64) {
 	if v > h.max {
 		h.max = v
 	}
-}
-
-func bitsLen(v uint64) int {
-	n := 0
-	for v > 0 {
-		v >>= 1
-		n++
-	}
-	return n
 }
 
 // Total returns the number of recorded values.
@@ -111,10 +103,8 @@ func (h *Histogram) Bucket(i int) (count uint64, lo, hi uint64) {
 	if i < 0 || i >= len(h.buckets) {
 		return 0, 0, 0
 	}
-	if i == 0 {
-		return h.buckets[0], 0, 0
-	}
-	return h.buckets[i], 1 << (i - 1), 1<<i - 1
+	lo, hi = metrics.BucketRange(i)
+	return h.buckets[i], lo, hi
 }
 
 // NumBuckets returns how many buckets carry data.

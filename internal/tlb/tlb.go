@@ -6,6 +6,7 @@
 package tlb
 
 import (
+	"hdpat/internal/metrics"
 	"hdpat/internal/sim"
 	"hdpat/internal/vm"
 )
@@ -52,6 +53,22 @@ type TLB struct {
 	// uses this to keep its cuckoo filter in sync with the auxiliary
 	// translation cache contents.
 	OnEvict func(vm.PTE)
+
+	// m mirrors hits/misses into registry counters shared across every TLB
+	// of the same level (AttachMetrics); nil costs one branch per lookup.
+	m *levelCounters
+}
+
+// levelCounters are the per-level registry series a TLB reports into.
+type levelCounters struct {
+	hits, misses *metrics.Counter
+}
+
+// AttachMetrics mirrors this TLB's hits and misses into the given counters.
+// Many TLB instances (one L1 per CU, one L2 per GPM, ...) typically share
+// one counter pair, aggregating the level across the wafer.
+func (t *TLB) AttachMetrics(hits, misses *metrics.Counter) {
+	t.m = &levelCounters{hits: hits, misses: misses}
 }
 
 // New creates a TLB with the given geometry.
@@ -106,10 +123,16 @@ func (t *TLB) Lookup(k Key) (vm.PTE, bool) {
 			copy(set[1:i+1], set[:i])
 			set[0] = e
 			t.Stats.Hits++
+			if t.m != nil {
+				t.m.hits.Inc()
+			}
 			return e.pte, true
 		}
 	}
 	t.Stats.Misses++
+	if t.m != nil {
+		t.m.misses.Inc()
+	}
 	return vm.PTE{}, false
 }
 

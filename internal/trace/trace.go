@@ -1,0 +1,216 @@
+// Package trace is the cycle-domain event tracer: typed spans (IOMMU walks,
+// queue residency, NoC hops, page migrations) emitted as either a compact
+// JSONL stream or Chrome trace_event JSON loadable in chrome://tracing /
+// Perfetto. Timestamps are simulated cycles, not wall time.
+//
+// A nil *Tracer is a valid, disabled tracer: every method is a no-op, so an
+// instrumented component pays exactly one branch when tracing is off.
+// Tracing only observes — it never schedules events or mutates simulator
+// state — so a traced run is cycle-for-cycle identical to an untraced one.
+//
+// Batch runs share one output stream: Run(pid) derives a child tracer whose
+// events carry that pid (one per batch index), serialised onto the shared
+// writer under the parent's lock.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Format selects the output encoding.
+type Format int
+
+const (
+	// JSONL emits one self-contained JSON object per line.
+	JSONL Format = iota
+	// Chrome emits a trace_event JSON array for chrome://tracing / Perfetto.
+	Chrome
+)
+
+// KV is one numeric span attribute. Attributes are numeric only so emission
+// stays allocation-cheap and byte-deterministic.
+type KV struct {
+	K string
+	V uint64
+}
+
+// state is the output stream shared by a tracer and its Run children.
+type state struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	format Format
+	events uint64
+	opened bool
+	closed bool
+	err    error
+}
+
+// Tracer emits events for one run (identified by pid in batch traces).
+type Tracer struct {
+	st  *state
+	pid int
+}
+
+// New creates a tracer writing to w in the given format. Call Close when the
+// run (or batch) finishes to flush buffered events and, for Chrome, to
+// terminate the JSON array.
+func New(w io.Writer, format Format) *Tracer {
+	return &Tracer{st: &state{w: bufio.NewWriterSize(w, 1<<16), format: format}}
+}
+
+// Run derives a child tracer for one run of a batch: same stream, events
+// tagged with pid so viewers separate the runs.
+func (t *Tracer) Run(pid int) *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{st: t.st, pid: pid}
+}
+
+// Events returns the number of events emitted so far.
+func (t *Tracer) Events() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.st.mu.Lock()
+	defer t.st.mu.Unlock()
+	return t.st.events
+}
+
+// Close flushes the stream and terminates the Chrome JSON array. It returns
+// the first write error encountered over the tracer's lifetime.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	st := t.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return st.err
+	}
+	st.closed = true
+	if st.format == Chrome {
+		if !st.opened {
+			st.w.WriteString("[")
+		}
+		st.w.WriteString("\n]\n")
+	}
+	if err := st.w.Flush(); err != nil && st.err == nil {
+		st.err = err
+	}
+	return st.err
+}
+
+// emit writes one event. dur < 0 marks an instant event.
+func (t *Tracer) emit(tid, name string, ts uint64, dur int64, kv []KV) {
+	if t == nil {
+		return
+	}
+	st := t.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	st.events++
+	w := st.w
+	switch st.format {
+	case Chrome:
+		if !st.opened {
+			w.WriteString("[")
+			st.opened = true
+		} else {
+			w.WriteString(",")
+		}
+		if dur >= 0 {
+			fmt.Fprintf(w, "\n{\"ph\":\"X\",\"pid\":%d,\"tid\":%q,\"cat\":%q,\"name\":%q,\"ts\":%d,\"dur\":%d",
+				t.pid, tid, tid, name, ts, dur)
+		} else {
+			fmt.Fprintf(w, "\n{\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%q,\"cat\":%q,\"name\":%q,\"ts\":%d",
+				t.pid, tid, tid, name, ts)
+		}
+		w.WriteString(",\"args\":{")
+		for i, a := range kv {
+			if i > 0 {
+				w.WriteString(",")
+			}
+			fmt.Fprintf(w, "%q:%d", a.K, a.V)
+		}
+		w.WriteString("}}")
+	default: // JSONL
+		fmt.Fprintf(w, "{\"ts\":%d,\"tid\":%q,\"ev\":%q", ts, tid, name)
+		if t.pid != 0 {
+			fmt.Fprintf(w, ",\"run\":%d", t.pid)
+		}
+		if dur >= 0 {
+			fmt.Fprintf(w, ",\"dur\":%d", dur)
+		}
+		for _, a := range kv {
+			fmt.Fprintf(w, ",%q:%d", a.K, a.V)
+		}
+		w.WriteString("}\n")
+	}
+}
+
+// Span records a completed [start, end] interval on the named component
+// track ("iommu", "noc", ...).
+func (t *Tracer) Span(tid, name string, start, end uint64, kv ...KV) {
+	if t == nil {
+		return
+	}
+	t.emit(tid, name, start, int64(end-start), kv)
+}
+
+// Instant records a point event.
+func (t *Tracer) Instant(tid, name string, ts uint64, kv ...KV) {
+	if t == nil {
+		return
+	}
+	t.emit(tid, name, ts, -1, kv)
+}
+
+// WalkSpan records one IOMMU page-table walk occupying a walker from start
+// to end, on behalf of request req for virtual page vpn.
+func (t *Tracer) WalkSpan(start, end uint64, req, vpn uint64) {
+	if t == nil {
+		return
+	}
+	t.emit("iommu", "walk", start, int64(end-start), []KV{{"req", req}, {"vpn", vpn}})
+}
+
+// QueueSpan records a request's residency in one queue stage
+// ("iommu.admission", "iommu.pwq").
+func (t *Tracer) QueueSpan(stage string, start, end uint64, req uint64) {
+	if t == nil {
+		return
+	}
+	t.emit(stage, "queued", start, int64(end-start), []KV{{"req", req}})
+}
+
+// HopSpan records one NoC link traversal (serialisation plus hop latency)
+// of a size-byte message.
+func (t *Tracer) HopSpan(start, end uint64, fromX, fromY, toX, toY, size int) {
+	if t == nil {
+		return
+	}
+	t.emit("noc", "hop", start, int64(end-start), []KV{
+		{"fx", uint64(fromX)}, {"fy", uint64(fromY)},
+		{"tx", uint64(toX)}, {"ty", uint64(toY)},
+		{"bytes", uint64(size)},
+	})
+}
+
+// MigrationSpan records one page migration (shootdown through data copy)
+// of vpn from GPM `from` to GPM `to`.
+func (t *Tracer) MigrationSpan(start, end uint64, vpn uint64, from, to int) {
+	if t == nil {
+		return
+	}
+	t.emit("migrate", "migration", start, int64(end-start), []KV{
+		{"vpn", vpn}, {"from", uint64(from)}, {"to", uint64(to)},
+	})
+}

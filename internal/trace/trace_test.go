@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Span("iommu", "walk", 0, 10)
+	tr.Instant("noc", "drop", 5)
+	tr.WalkSpan(0, 10, 1, 2)
+	tr.QueueSpan("iommu.pwq", 0, 5, 1)
+	tr.HopSpan(0, 32, 0, 0, 1, 0, 64)
+	tr.MigrationSpan(0, 100, 42, 1, 2)
+	if tr.Run(3) != nil {
+		t.Error("nil.Run should stay nil")
+	}
+	if tr.Events() != 0 {
+		t.Error("nil.Events should be 0")
+	}
+	if tr.Close() != nil {
+		t.Error("nil.Close should be nil")
+	}
+}
+
+func TestJSONLFormat(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, JSONL)
+	tr.WalkSpan(100, 600, 7, 0x42)
+	tr.Instant("noc", "drop", 50, KV{"bytes", 64})
+	tr.Run(3).HopSpan(10, 42, 0, 1, 1, 1, 32)
+	if tr.Events() != 3 {
+		t.Errorf("events = %d", tr.Events())
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	var walk map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &walk); err != nil {
+		t.Fatalf("line 0: %v", err)
+	}
+	if walk["ev"] != "walk" || walk["ts"] != float64(100) || walk["dur"] != float64(500) ||
+		walk["vpn"] != float64(0x42) {
+		t.Errorf("walk event = %v", walk)
+	}
+	if _, hasRun := walk["run"]; hasRun {
+		t.Error("run 0 events must omit the run tag")
+	}
+	var inst map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &inst); err != nil {
+		t.Fatalf("line 1: %v", err)
+	}
+	if _, hasDur := inst["dur"]; hasDur {
+		t.Error("instant events must omit dur")
+	}
+	var hop map[string]any
+	if err := json.Unmarshal([]byte(lines[2]), &hop); err != nil {
+		t.Fatalf("line 2: %v", err)
+	}
+	if hop["run"] != float64(3) {
+		t.Errorf("child-run event missing run tag: %v", hop)
+	}
+}
+
+func TestChromeFormatIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, Chrome)
+	tr.WalkSpan(0, 10, 1, 2)
+	tr.Run(2).QueueSpan("iommu.pwq", 5, 9, 1)
+	tr.MigrationSpan(0, 50, 9, 0, 3)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("Chrome output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0]["ph"] != "X" || events[0]["name"] != "walk" || events[0]["dur"] != float64(10) {
+		t.Errorf("event 0 = %v", events[0])
+	}
+	if events[1]["pid"] != float64(2) {
+		t.Errorf("child-run event pid = %v", events[1]["pid"])
+	}
+	args, ok := events[2]["args"].(map[string]any)
+	if !ok || args["vpn"] != float64(9) || args["to"] != float64(3) {
+		t.Errorf("migration args = %v", events[2]["args"])
+	}
+}
+
+func TestChromeEmptyTraceIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, Chrome)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("empty Chrome trace invalid: %v\n%q", err, buf.String())
+	}
+	if len(events) != 0 {
+		t.Errorf("expected no events, got %d", len(events))
+	}
+}
+
+func TestEmitAfterCloseDropped(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, JSONL)
+	tr.Span("a", "b", 0, 1)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	tr.Span("a", "late", 2, 3)
+	if buf.Len() != n {
+		t.Error("events after Close must be dropped")
+	}
+	if err := tr.Close(); err != nil {
+		t.Error("double Close should be idempotent:", err)
+	}
+}
+
+// TestByteDeterminism: the same span sequence produces identical bytes —
+// the property the wafer-level determinism test builds on.
+func TestByteDeterminism(t *testing.T) {
+	emitAll := func(format Format) []byte {
+		var buf bytes.Buffer
+		tr := New(&buf, format)
+		for i := uint64(0); i < 100; i++ {
+			tr.WalkSpan(i*10, i*10+7, i, i<<12)
+			tr.Run(int(i%4)).HopSpan(i, i+32, 0, 0, 1, 0, 64)
+		}
+		tr.Close()
+		return buf.Bytes()
+	}
+	for _, f := range []Format{JSONL, Chrome} {
+		if !bytes.Equal(emitAll(f), emitAll(f)) {
+			t.Errorf("format %v output not deterministic", f)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package wafer
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hdpat/internal/metrics"
+	"hdpat/internal/migrate"
+	"hdpat/internal/trace"
+	"hdpat/internal/workload"
+)
+
+// runWith executes one small run with the given observability options.
+func runWith(t *testing.T, scheme string, budget int, reg *metrics.Registry, tr *trace.Tracer) Result {
+	t.Helper()
+	cfg, err := ConfigFor(scheme, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.ByAbbr("SPMV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, Options{
+		Scheme: scheme, Benchmark: b, OpsBudget: budget, Seed: 1,
+		Metrics: reg, Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMetricsNonZeroForEveryScheme: the acceptance criterion that with
+// metrics enabled, every scheme reports non-zero TLB, IOMMU and NoC series.
+func TestMetricsNonZeroForEveryScheme(t *testing.T) {
+	for _, scheme := range SchemeNames() {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			res := runWith(t, scheme, 8, metrics.NewRegistry(), nil)
+			s := res.Metrics
+			if s == nil {
+				t.Fatal("Result.Metrics is nil with Options.Metrics set")
+			}
+			if hits, misses := s.Counter("tlb.l1.hits"), s.Counter("tlb.l1.misses"); hits+misses == 0 {
+				t.Error("no L1 TLB activity recorded")
+			}
+			if s.Counter("noc.messages") == 0 {
+				t.Error("no NoC messages recorded")
+			}
+			if s.Counter("sim.events_dispatched") == 0 {
+				t.Error("no engine events recorded")
+			}
+			// Every scheme must expose IOMMU series. Request counts may be
+			// zero for schemes that fully offload (transfw), so assert
+			// presence via the walker-count config gauge instead.
+			if s.Gauge("iommu.walkers") == 0 {
+				t.Error("iommu.walkers gauge missing or zero")
+			}
+			if s.Gauge("run.cycles") == 0 || s.Gauge("run.total_ops") == 0 {
+				t.Error("run gauges not recorded")
+			}
+		})
+	}
+}
+
+// TestMetricsMatchLegacyStats cross-checks registry series against the
+// hand-rolled Stats structs the Result already carried.
+func TestMetricsMatchLegacyStats(t *testing.T) {
+	res := runWith(t, "hdpat", 32, metrics.NewRegistry(), nil)
+	s := res.Metrics
+	if got, want := s.Counter("iommu.requests"), res.IOMMU.Requests; got != want {
+		t.Errorf("iommu.requests = %d, stats say %d", got, want)
+	}
+	if got, want := s.Counter("iommu.walks"), res.IOMMU.Walks; got != want {
+		t.Errorf("iommu.walks = %d, stats say %d", got, want)
+	}
+	if got, want := s.Counter("noc.messages"), res.NoC.Messages; got != want {
+		t.Errorf("noc.messages = %d, stats say %d", got, want)
+	}
+	if got, want := s.Counter("noc.byte_hops"), res.NoC.ByteHops; got != want {
+		t.Errorf("noc.byte_hops = %d, stats say %d", got, want)
+	}
+	var issued, stall uint64
+	for _, g := range res.GPMStats {
+		issued += g.OpsIssued
+		stall += g.CUStallCycles
+	}
+	if got := s.Counter("gpm.ops.issued"); got != issued {
+		t.Errorf("gpm.ops.issued = %d, stats say %d", got, issued)
+	}
+	if got := s.Counter("gpm.cu.stall_cycles"); got != stall {
+		t.Errorf("gpm.cu.stall_cycles = %d, stats say %d", got, stall)
+	}
+	if uint64(s.Gauge("run.cycles")) != uint64(res.Cycles) {
+		t.Errorf("run.cycles = %d, result says %d", s.Gauge("run.cycles"), res.Cycles)
+	}
+	// Per-link NoC gauges must aggregate to the busy total.
+	var linkSum int64
+	for name, v := range s.Gauges {
+		if strings.HasPrefix(name, "noc.link.busy.") {
+			linkSum += v
+		}
+	}
+	if total := s.Gauge("noc.links.busy_total"); linkSum != total {
+		t.Errorf("per-link busy sum %d != busy_total %d", linkSum, total)
+	}
+}
+
+// stripObservability zeroes the fields a run only has when observability is
+// attached, so DeepEqual compares pure simulation outcomes.
+func stripObservability(r Result) Result {
+	r.Metrics = nil
+	return r
+}
+
+// TestDeterminismWithObservability: byte-identical simulation results with
+// metrics and tracing on vs off — observability must only observe.
+func TestDeterminismWithObservability(t *testing.T) {
+	plain := runWith(t, "hdpat", 24, nil, nil)
+
+	var buf bytes.Buffer
+	tr := trace.New(&buf, trace.JSONL)
+	observed := runWith(t, "hdpat", 24, metrics.NewRegistry(), tr)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("trace produced no events")
+	}
+	if !reflect.DeepEqual(plain, stripObservability(observed)) {
+		t.Errorf("observability changed the simulation:\nplain:    %+v\nobserved: %+v",
+			plain, stripObservability(observed))
+	}
+
+	// And the trace itself is deterministic: run again, compare bytes.
+	var buf2 bytes.Buffer
+	tr2 := trace.New(&buf2, trace.JSONL)
+	runWith(t, "hdpat", 24, metrics.NewRegistry(), tr2)
+	if err := tr2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("identical runs produced different traces")
+	}
+	// Every line is a self-contained JSON object.
+	for i, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("trace line %d invalid: %v", i, err)
+		}
+		if i > 100 {
+			break
+		}
+	}
+}
+
+// TestMigrationMetricsAndTrace exercises the migrate.* series and the
+// migration span path.
+func TestMigrationMetricsAndTrace(t *testing.T) {
+	cfg, err := ConfigFor("hdpat", smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.ByAbbr("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := Options{Scheme: "hdpat", Benchmark: b, OpsBudget: 48, Seed: 1}
+	mig := migrate.DefaultConfig()
+	mig.Threshold = 1 // migrate eagerly so the small run produces activity
+	mcfg.Migration = &mig
+	reg := metrics.NewRegistry()
+	var buf bytes.Buffer
+	tr := trace.New(&buf, trace.JSONL)
+	mcfg.Metrics = reg
+	mcfg.Trace = tr
+	res, err := Run(cfg, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Migration.Migrations == 0 {
+		t.Skip("workload produced no migrations at this budget")
+	}
+	if got := res.Metrics.Counter("migrate.migrations"); got != res.Migration.Migrations {
+		t.Errorf("migrate.migrations = %d, stats say %d", got, res.Migration.Migrations)
+	}
+	if !strings.Contains(buf.String(), `"ev":"migration"`) {
+		t.Error("no migration spans in trace")
+	}
+}

@@ -13,12 +13,14 @@ import (
 	"hdpat/internal/geom"
 	"hdpat/internal/gpm"
 	"hdpat/internal/iommu"
+	"hdpat/internal/metrics"
 	"hdpat/internal/migrate"
 	"hdpat/internal/noc"
 	"hdpat/internal/schemes"
 	"hdpat/internal/sim"
 	"hdpat/internal/stats"
 	"hdpat/internal/tlb"
+	"hdpat/internal/trace"
 	"hdpat/internal/vm"
 	"hdpat/internal/workload"
 	"hdpat/internal/xlat"
@@ -89,9 +91,19 @@ type Options struct {
 	// ServedWindow, when nonzero, attaches a count series of IOMMU-arriving
 	// requests with this window (Fig 13).
 	ServedWindow uint64
-	// Observer, when set, sees every request arriving at the IOMMU
-	// (characterisation figures attach trackers).
-	Observer func(now sim.VTime, req *xlat.Request)
+	// Hooks see every request arriving at the IOMMU, in order
+	// (characterisation figures attach trackers). Replaces the former
+	// single-callback Observer field.
+	Hooks []iommu.RequestHook
+	// Metrics, when non-nil, has every component report into it
+	// (sim.*, noc.*, tlb.*, iommu.*, gpm.*, migrate.* series); the run's
+	// final snapshot lands on Result.Metrics. Nil costs one branch per
+	// instrumented hot-path site.
+	Metrics *metrics.Registry
+	// Trace, when non-nil, receives cycle-domain spans (IOMMU walks and
+	// queueing, NoC hops, migrations). Tracing only observes; a traced run
+	// is cycle-for-cycle identical to an untraced one.
+	Trace *trace.Tracer
 	// Validate cross-checks every remote translation result against the
 	// global page table and records mismatches in Result.ValidationErrors.
 	// Intended for tests; adds a lookup per remote translation. Do not
@@ -133,6 +145,10 @@ type Result struct {
 
 	// Migration reports page-migration activity when the extension is on.
 	Migration migrate.Stats
+
+	// Metrics is the run's final registry snapshot when Options.Metrics was
+	// set (nil otherwise).
+	Metrics *metrics.Snapshot
 }
 
 // RemoteBySource aggregates per-source remote translation counts.
@@ -251,6 +267,13 @@ func RunContext(ctx context.Context, cfg config.System, opts Options) (Result, e
 	network := noc.New(eng, mesh, cfg.NoC)
 	numGPMs := mesh.NumGPMs()
 
+	reg := opts.Metrics
+	if reg != nil {
+		eng.AttachMetrics(reg)
+		network.AttachMetrics(reg)
+	}
+	network.Trace = opts.Trace
+
 	placement := vm.NewPlacement(numGPMs, cfg.PageSize)
 	regions := map[string]vm.Region{}
 	for _, rs := range opts.Benchmark.Regions(cfg.WorkloadScale, numGPMs, cfg.PageSize) {
@@ -274,6 +297,13 @@ func RunContext(ctx context.Context, cfg config.System, opts Options) (Result, e
 
 	io := iommu.New(eng, cfg.IOMMU, mesh.CPU, network, placement.Global())
 	io.GPMCoord = func(id int) geom.Coord { return gpms[id].Coord }
+	io.Trace = opts.Trace
+	if reg != nil {
+		io.AttachMetrics(reg)
+		for _, g := range gpms {
+			g.AttachMetrics(reg)
+		}
+	}
 	if opts.QueueWindow > 0 {
 		io.QueueSeries = stats.NewMaxSeries(opts.QueueWindow)
 	}
@@ -281,16 +311,13 @@ func RunContext(ctx context.Context, cfg config.System, opts Options) (Result, e
 	if opts.ServedWindow > 0 {
 		served = stats.NewCountSeries(opts.ServedWindow)
 	}
-	if opts.Observer != nil || served != nil {
-		obs := opts.Observer
-		io.Observer = func(now sim.VTime, req *xlat.Request) {
-			if served != nil {
-				served.Record(uint64(now), 1)
-			}
-			if obs != nil {
-				obs(now, req)
-			}
-		}
+	if served != nil {
+		io.AddHook(iommu.RequestHookFunc(func(now sim.VTime, req *xlat.Request) {
+			served.Record(uint64(now), 1)
+		}))
+	}
+	for _, h := range opts.Hooks {
+		io.AddHook(h)
 	}
 
 	fabric := &core.Fabric{
@@ -310,6 +337,10 @@ func RunContext(ctx context.Context, cfg config.System, opts Options) (Result, e
 	var migrator *migrate.Manager
 	if opts.Migration != nil {
 		migrator = migrate.New(fabric, *opts.Migration)
+		migrator.Trace = opts.Trace
+		if reg != nil {
+			migrator.AttachMetrics(reg)
+		}
 		scheme = migrator.Wrap(scheme)
 	}
 
@@ -385,6 +416,12 @@ func RunContext(ctx context.Context, cfg config.System, opts Options) (Result, e
 		if g.Stats.FinishTime > res.Cycles {
 			res.Cycles = g.Stats.FinishTime
 		}
+	}
+	if reg != nil {
+		network.FlushMetrics()
+		reg.Gauge("run.cycles").Set(int64(res.Cycles))
+		reg.Gauge("run.total_ops").Set(int64(totalOps))
+		res.Metrics = reg.Snapshot()
 	}
 	return res, runErr
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"hdpat/internal/config"
+	"hdpat/internal/iommu"
 	"hdpat/internal/sim"
 	"hdpat/internal/workload"
 	"hdpat/internal/xlat"
@@ -226,22 +227,23 @@ func TestQueueAndServedSeries(t *testing.T) {
 	}
 }
 
-func TestObserverSeesRequests(t *testing.T) {
+func TestHooksSeeRequests(t *testing.T) {
 	cfg, _ := ConfigFor("baseline", smallConfig())
 	seen := 0
 	res, err := Run(cfg, Options{
 		Scheme: "baseline", Benchmark: mustBench(t, "SPMV"),
 		OpsBudget: 32, Seed: 1,
-		Observer: func(now sim.VTime, req *xlat.Request) { seen++ },
+		Hooks: []iommu.RequestHook{iommu.RequestHookFunc(
+			func(now sim.VTime, req *xlat.Request) { seen++ })},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if uint64(seen) != res.IOMMU.Requests {
-		t.Errorf("observer saw %d, IOMMU counted %d", seen, res.IOMMU.Requests)
+		t.Errorf("hook saw %d, IOMMU counted %d", seen, res.IOMMU.Requests)
 	}
 	if seen == 0 {
-		t.Error("observer saw nothing")
+		t.Error("hook saw nothing")
 	}
 }
 

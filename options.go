@@ -1,5 +1,12 @@
 package hdpat
 
+import (
+	"io"
+
+	"hdpat/internal/metrics"
+	"hdpat/internal/trace"
+)
+
 // Option adjusts how Simulate, SimulateContext, RunBatch, Compare and
 // CompareAll execute. Options compose left to right: later options override
 // earlier ones where they conflict (WithSeed, WithOpsBudget) and accumulate
@@ -16,6 +23,13 @@ type runConfig struct {
 	workers    int
 	progress   func(done, total int)
 	perRun     func(i int) []Option
+
+	metrics     *metrics.Registry
+	traceW      io.Writer
+	traceFormat trace.Format
+	// tracer, when set, overrides traceW with a pre-built (batch child)
+	// tracer; internal — batch entry points install it per run.
+	tracer *trace.Tracer
 }
 
 func newRunConfig(opts []Option) *runConfig {
@@ -97,6 +111,39 @@ func WithWorkers(n int) Option {
 // serialised and arrive from worker goroutines. Single-run calls ignore it.
 func WithProgress(f func(done, total int)) Option {
 	return func(rc *runConfig) { rc.progress = f }
+}
+
+// WithMetrics has every component of the simulated system report into reg:
+// counters, gauges and log2 histograms under the sim.*, noc.*, tlb.*,
+// iommu.*, gpm.*, migrate.* and run.* series documented in
+// docs/observability.md. Single runs write into reg live (scrape it while
+// the simulation executes via ServeMetrics); batch entry points give every
+// run a fresh private registry — so concurrent runs never share series —
+// and fold each run's final snapshot into reg as it settles, alongside the
+// batch's own runner.* throughput series. Each run's snapshot also lands on
+// its Result.Metrics. Passing nil disables metrics; so does omitting the
+// option, at a cost of one branch per instrumented hot-path site.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(rc *runConfig) { rc.metrics = reg }
+}
+
+// WithTrace streams cycle-domain spans (IOMMU walks and queueing, NoC link
+// hops, page migrations) to w as Chrome trace_event JSON, loadable in
+// chrome://tracing or Perfetto. In a batch every run shares w, with events
+// tagged by the run's submission index. Tracing only observes — a traced
+// simulation is cycle-for-cycle identical to an untraced one — but emits
+// one event per hop/walk, so expect large outputs on long runs. The stream
+// is flushed and terminated when the call returns. Passing nil disables
+// tracing.
+func WithTrace(w io.Writer) Option {
+	return func(rc *runConfig) { rc.traceW = w; rc.traceFormat = trace.Chrome }
+}
+
+// WithTraceJSONL is WithTrace emitting one compact self-contained JSON
+// object per line instead of a Chrome trace array — the format to pick for
+// programmatic consumption (grep, jq, stream processing).
+func WithTraceJSONL(w io.Writer) Option {
+	return func(rc *runConfig) { rc.traceW = w; rc.traceFormat = trace.JSONL }
 }
 
 // WithPerRun supplies extra options for individual runs of a batch: f is
