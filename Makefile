@@ -7,7 +7,7 @@ GO ?= go
 BENCH ?= BenchmarkBatch3x3
 BENCHTIME ?= 3x
 
-.PHONY: build test race vet check bench bench-all
+.PHONY: build test race vet check bench bench-check bench-all report
 
 build:
 	$(GO) build ./...
@@ -34,7 +34,26 @@ bench:
 		| tee results/bench.txt | /tmp/benchjson > results/bench.json
 	@echo "wrote results/bench.txt and results/bench.json"
 
+# Bench-regression gate: rerun the hot-path benchmarks and fail when any
+# ns/op regressed more than BENCH_TOLERANCE (fraction) against the committed
+# baseline results/bench.json. CI runs this on every push.
+BENCH_TOLERANCE ?= 0.15
+bench-check:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -benchmem \
+		| /tmp/benchjson > /tmp/bench-new.json
+	/tmp/benchjson -compare -tolerance $(BENCH_TOLERANCE) results/bench.json /tmp/bench-new.json
+
 # One iteration of every paper-artifact benchmark plus the batch-engine
 # serial/parallel comparison.
 bench-all:
 	$(GO) test -bench=. -benchtime 1x
+
+# Latency-attribution run report (Markdown breakdowns + NoC heatmap CSVs)
+# for REPORT_SCHEME vs baseline on REPORT_BENCH, written under
+# results/report/ (gitignored). Override the knobs for other comparisons:
+#   make report REPORT_SCHEME=transfw REPORT_BENCH=SPMV,PR,KM
+REPORT_SCHEME ?= hdpat
+REPORT_BENCH ?= SPMV,PR
+report:
+	$(GO) run ./cmd/report -scheme $(REPORT_SCHEME) -bench $(REPORT_BENCH) -o results/report

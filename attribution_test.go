@@ -1,0 +1,179 @@
+// Public-API tests for the latency attribution layer: WithAttribution
+// wiring, the exact-accounting guarantee against the pre-existing latency
+// counters, the determinism guarantee, and comparison diffs.
+package hdpat_test
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hdpat"
+	"hdpat/internal/attr"
+)
+
+func TestSimulateWithAttribution(t *testing.T) {
+	res, err := hdpat.Simulate(obsConfig(), hdpat.RunSpec{Scheme: "hdpat", Benchmark: "SPMV"},
+		hdpat.WithOpsBudget(16), hdpat.WithSeed(1), hdpat.WithAttribution())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Breakdown
+	if b == nil {
+		t.Fatal("Result.Breakdown is nil with attribution enabled")
+	}
+	if b.Scheme != "hdpat" || b.Benchmark != "SPMV" {
+		t.Errorf("breakdown labels = %q/%q", b.Scheme, b.Benchmark)
+	}
+	if b.Requests == 0 {
+		t.Fatal("no requests attributed")
+	}
+	if b.Stage(attr.StageTotal).Count != b.Requests {
+		t.Error("total distribution count != requests")
+	}
+	if len(b.Links) == 0 {
+		t.Error("no link heatmap entries")
+	}
+	if len(b.TLB) == 0 {
+		t.Error("no TLB levels")
+	}
+	if len(b.Sources) == 0 {
+		t.Error("no source mix")
+	}
+	if got := b.Cycles; got != uint64(res.Cycles) {
+		t.Errorf("breakdown cycles %d != result cycles %d", got, res.Cycles)
+	}
+	// The renderers must produce non-trivial output for a real run.
+	var md bytes.Buffer
+	b.WriteMarkdown(&md)
+	if !strings.Contains(md.String(), "| total |") {
+		t.Errorf("markdown report missing stage table:\n%s", md.String())
+	}
+	if rows := strings.Split(strings.TrimSpace(b.HeatmapCSV()), "\n"); len(rows) < 2 {
+		t.Errorf("heatmap CSV has no data rows:\n%s", b.HeatmapCSV())
+	}
+}
+
+// TestBreakdownExactAccounting is the acceptance criterion: with attribution
+// enabled, per-stage cycle sums equal the end-to-end translation cycles
+// reported by the existing counters, exactly.
+func TestBreakdownExactAccounting(t *testing.T) {
+	for _, scheme := range []string{"baseline", "hdpat", "redirect", "transfw"} {
+		res, err := hdpat.Simulate(obsConfig(), hdpat.RunSpec{Scheme: scheme, Benchmark: "SPMV"},
+			hdpat.WithOpsBudget(16), hdpat.WithSeed(1), hdpat.WithAttribution())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := res.Breakdown
+		if b.Clipped != 0 {
+			t.Errorf("%s: %d clipped requests (stage spans exceeding lifecycle)", scheme, b.Clipped)
+		}
+		var stageSum uint64
+		for _, s := range attr.StageOrder {
+			stageSum += b.Stage(s).Sum
+		}
+		total := b.Stage(attr.StageTotal)
+		if stageSum != total.Sum {
+			t.Errorf("%s: stage sums %d != total %d", scheme, stageSum, total.Sum)
+		}
+		// The ledger's total is exactly the cycles the GPM counters already
+		// accumulate (request issue to completion, per remote translation).
+		var legacy, legacyN uint64
+		for _, gs := range res.GPMStats {
+			legacy += gs.RemoteLatencySum
+			for _, n := range gs.RemoteBySource {
+				legacyN += n
+			}
+		}
+		if total.Sum != legacy {
+			t.Errorf("%s: attributed cycles %d != gpm.RemoteLatencySum %d", scheme, total.Sum, legacy)
+		}
+		if total.Count != legacyN {
+			t.Errorf("%s: attributed requests %d != completed remote translations %d",
+				scheme, total.Count, legacyN)
+		}
+	}
+}
+
+// TestPublicDeterminismWithAttribution: simulation outcomes are byte-
+// identical with attribution on and off.
+func TestPublicDeterminismWithAttribution(t *testing.T) {
+	spec := hdpat.RunSpec{Scheme: "hdpat", Benchmark: "KM"}
+	plain, err := hdpat.Simulate(obsConfig(), spec, hdpat.WithOpsBudget(16), hdpat.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	attributed, err := hdpat.Simulate(obsConfig(), spec, hdpat.WithOpsBudget(16), hdpat.WithSeed(7),
+		hdpat.WithAttribution(), hdpat.WithMetrics(hdpat.NewMetricsRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	attributed.Metrics = nil
+	attributed.Breakdown = nil
+	if !reflect.DeepEqual(plain, attributed) {
+		t.Error("attribution changed public-API results")
+	}
+}
+
+// TestCompareBreakdownDiff: comparisons carry per-stage attribution deltas
+// when attribution is on, and nil otherwise.
+func TestCompareBreakdownDiff(t *testing.T) {
+	cmp, err := hdpat.Compare(obsConfig(), "hdpat", "SPMV",
+		hdpat.WithOpsBudget(16), hdpat.WithSeed(1), hdpat.WithAttribution())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Result.Breakdown == nil || cmp.Baseline.Breakdown == nil {
+		t.Fatal("batch runs missing breakdowns")
+	}
+	d := cmp.BreakdownDiff()
+	if d == nil {
+		t.Fatal("BreakdownDiff returned nil with attribution enabled")
+	}
+	for _, k := range []string{"admission.mean", "pwq.mean", "walk.mean", "wire.mean",
+		"total.mean", "total.p95", "requests"} {
+		if _, ok := d[k]; !ok {
+			t.Errorf("diff missing key %q", k)
+		}
+	}
+	plain, err := hdpat.Compare(obsConfig(), "hdpat", "SPMV",
+		hdpat.WithOpsBudget(8), hdpat.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.BreakdownDiff() != nil {
+		t.Error("BreakdownDiff should be nil without WithAttribution")
+	}
+}
+
+// TestBatchAttributionIndependence: concurrent batch runs get independent
+// ledgers, and results match the same specs run serially.
+func TestBatchAttributionIndependence(t *testing.T) {
+	specs := []hdpat.RunSpec{
+		{Scheme: "baseline", Benchmark: "SPMV"},
+		{Scheme: "hdpat", Benchmark: "SPMV"},
+	}
+	runs, err := hdpat.RunBatch(context.Background(), obsConfig(), specs,
+		hdpat.WithOpsBudget(8), hdpat.WithSeed(1), hdpat.WithWorkers(2), hdpat.WithAttribution())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range runs {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Result.Breakdown == nil {
+			t.Fatalf("run %d has no breakdown", i)
+		}
+		serial, err := hdpat.Simulate(obsConfig(), specs[i],
+			hdpat.WithOpsBudget(8), hdpat.WithSeed(1), hdpat.WithAttribution())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial.Breakdown, r.Result.Breakdown) {
+			t.Errorf("run %d: batch breakdown differs from serial", i)
+		}
+	}
+}

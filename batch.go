@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"hdpat/internal/attr"
 	"hdpat/internal/metrics"
 	"hdpat/internal/runner"
 	"hdpat/internal/trace"
@@ -106,6 +107,18 @@ func (c ComparisonResult) MetricsDiff() map[string]float64 {
 		return nil
 	}
 	return c.Result.Metrics.Diff(c.Baseline.Metrics)
+}
+
+// BreakdownDiff returns the scheme run's per-stage latency attribution
+// minus the baseline's: "<stage>.mean" and "<stage>.p95" deltas for the
+// admission/pwq/walk/wire stages plus total, and the "requests" count delta.
+// Negative stage deltas mean the scheme spends fewer cycles there. It
+// returns nil unless both runs carried attribution (WithAttribution).
+func (c ComparisonResult) BreakdownDiff() map[string]float64 {
+	if c.Result.Breakdown == nil || c.Baseline.Breakdown == nil {
+		return nil
+	}
+	return attr.Diff(c.Result.Breakdown, c.Baseline.Breakdown)
 }
 
 // Compare runs the same benchmark under the baseline and the given scheme

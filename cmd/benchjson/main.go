@@ -6,15 +6,23 @@
 // Usage:
 //
 //	go test -run '^$' -bench BenchmarkBatch -benchmem | benchjson > results/bench.json
+//	benchjson -compare old.json new.json [-tolerance 0.15]
 //
 // Only standard benchmark result lines and the context header (goos/goarch/
 // pkg/cpu) are interpreted; everything else passes through to stderr so
 // failures stay visible in pipelines.
+//
+// -compare diffs two reports and exits 1 when any benchmark present in both
+// regressed its ns/op by more than the tolerance — the CI bench-regression
+// gate (`make bench-check`). Benchmarks appearing on only one side are
+// reported but never fail the gate, so adding or renaming a benchmark does
+// not require regenerating the baseline in the same change.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -47,6 +55,93 @@ type Report struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two bench.json files: -compare old.json new.json")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional ns/op regression before -compare fails")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-tolerance F] old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(compareReports(flag.Arg(0), flag.Arg(1), *tolerance))
+	}
+	convert()
+}
+
+// compareReports diffs new against old and returns the process exit code:
+// 0 when every shared benchmark is within tolerance, 1 on regression.
+func compareReports(oldPath, newPath string, tolerance float64) int {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	oldNs := nsPerOp(oldRep)
+	newNs := nsPerOp(newRep)
+	failed := false
+	for _, b := range newRep.Benchmarks {
+		nv, ok := newNs[b.Name]
+		if !ok {
+			continue
+		}
+		ov, ok := oldNs[b.Name]
+		if !ok {
+			fmt.Printf("%-40s %12.0f ns/op  (new benchmark, not gated)\n", b.Name, nv)
+			continue
+		}
+		delta := (nv - ov) / ov
+		status := "ok"
+		if delta > tolerance {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-40s %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n", b.Name, ov, nv, delta*100, status)
+	}
+	for name, ov := range oldNs {
+		if _, ok := newNs[name]; !ok {
+			fmt.Printf("%-40s %12.0f ns/op  (removed, not gated)\n", name, ov)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %.0f%% tolerance\n", tolerance*100)
+		return 1
+	}
+	return 0
+}
+
+func loadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// nsPerOp indexes a report's ns/op metric by benchmark name. Duplicate
+// names (e.g. -cpu sweeps) keep the last value.
+func nsPerOp(rep Report) map[string]float64 {
+	out := make(map[string]float64, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		for _, m := range b.Metrics {
+			if m.Unit == "ns/op" {
+				out[b.Name] = m.Value
+			}
+		}
+	}
+	return out
+}
+
+// convert is the original stdin-to-JSON mode.
+func convert() {
 	rep := Report{Note: os.Getenv("BENCHJSON_NOTE")}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

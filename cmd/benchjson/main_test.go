@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeReport(t *testing.T, name string, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldJSON = `{"benchmarks":[
+  {"name":"BenchmarkBatch3x3/serial","iterations":3,"metrics":[{"value":1000,"unit":"ns/op"},{"value":64,"unit":"B/op"}]},
+  {"name":"BenchmarkBatch3x3/parallel","iterations":3,"metrics":[{"value":400,"unit":"ns/op"}]},
+  {"name":"BenchmarkRemoved","iterations":1,"metrics":[{"value":10,"unit":"ns/op"}]}
+]}`
+
+func TestCompareWithinTolerance(t *testing.T) {
+	newJSON := `{"benchmarks":[
+	  {"name":"BenchmarkBatch3x3/serial","iterations":3,"metrics":[{"value":1100,"unit":"ns/op"}]},
+	  {"name":"BenchmarkBatch3x3/parallel","iterations":3,"metrics":[{"value":380,"unit":"ns/op"}]},
+	  {"name":"BenchmarkNew","iterations":1,"metrics":[{"value":5,"unit":"ns/op"}]}
+	]}`
+	code := compareReports(writeReport(t, "old.json", oldJSON),
+		writeReport(t, "new.json", newJSON), 0.15)
+	if code != 0 {
+		t.Errorf("10%% slowdown under 15%% tolerance: exit %d, want 0", code)
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	newJSON := `{"benchmarks":[
+	  {"name":"BenchmarkBatch3x3/serial","iterations":3,"metrics":[{"value":1200,"unit":"ns/op"}]}
+	]}`
+	code := compareReports(writeReport(t, "old.json", oldJSON),
+		writeReport(t, "new.json", newJSON), 0.15)
+	if code != 1 {
+		t.Errorf("20%% slowdown over 15%% tolerance: exit %d, want 1", code)
+	}
+	// The same delta passes when the tolerance is raised.
+	if code := compareReports(writeReport(t, "old2.json", oldJSON),
+		writeReport(t, "new2.json", newJSON), 0.25); code != 0 {
+		t.Errorf("20%% slowdown under 25%% tolerance: exit %d, want 0", code)
+	}
+}
+
+func TestCompareMissingFile(t *testing.T) {
+	if code := compareReports(filepath.Join(t.TempDir(), "absent.json"),
+		writeReport(t, "new.json", oldJSON), 0.15); code != 2 {
+		t.Errorf("missing baseline: exit %d, want 2", code)
+	}
+}
+
+func TestNsPerOpIndexing(t *testing.T) {
+	rep := Report{Benchmarks: []Benchmark{
+		{Name: "A", Metrics: []Metric{{Value: 7, Unit: "B/op"}, {Value: 42, Unit: "ns/op"}}},
+		{Name: "B", Metrics: []Metric{{Value: 9, Unit: "allocs/op"}}},
+	}}
+	ns := nsPerOp(rep)
+	if ns["A"] != 42 {
+		t.Errorf("ns/op[A] = %v", ns["A"])
+	}
+	if _, ok := ns["B"]; ok {
+		t.Error("benchmark without ns/op should not be indexed")
+	}
+}

@@ -3,10 +3,12 @@
 // Usage:
 //
 //	experiments [-run id[,id...]] [-quick] [-budget N] [-seed N] [-bench A,B]
-//	            [-workers N]
+//	            [-workers N] [-report dir] [-serve addr [-pprof]]
 //
 // Without -run it executes every experiment in paper order. Use -list to
-// see the available ids.
+// see the available ids. -report additionally writes each experiment's
+// table as Markdown and CSV artifacts into dir; -pprof mounts the
+// /debug/pprof/ profiling endpoints on the -serve listener.
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -33,6 +36,8 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit results as a JSON array")
 	asCSV := flag.Bool("csv", false, "emit results as CSV blocks")
 	serve := flag.String("serve", "", "serve live metrics/progress over HTTP on this address (e.g. :9090)")
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/ on the -serve listener")
+	report := flag.String("report", "", "write per-experiment Markdown and CSV artifacts into this directory")
 	flag.Parse()
 
 	if *list {
@@ -51,11 +56,21 @@ func main() {
 	if *serve != "" {
 		reg := metrics.NewRegistry()
 		session.Metrics = reg
+		var sopts []metrics.ServeOption
+		if *pprofOn {
+			sopts = append(sopts, metrics.WithPprof())
+		}
 		go func() {
-			if err := metrics.ListenAndServe(*serve, reg, progress.snapshot); err != nil {
+			if err := metrics.ListenAndServe(*serve, reg, progress.snapshot, sopts...); err != nil {
 				fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
 			}
 		}()
+	}
+	if *report != "" {
+		if err := os.MkdirAll(*report, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	var selected []experiments.Experiment
@@ -86,6 +101,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		if *report != "" {
+			if err := writeArtifacts(*report, table); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 		switch {
 		case *asJSON:
 			tables = append(tables, table)
@@ -109,6 +130,15 @@ func main() {
 		fmt.Printf("total: %d experiments, %d simulations, %s\n",
 			len(selected), session.Runs, time.Since(t0).Truncate(time.Millisecond))
 	}
+}
+
+// writeArtifacts saves one experiment's table as <dir>/<id>.md and
+// <dir>/<id>.csv.
+func writeArtifacts(dir string, t experiments.Table) error {
+	if err := os.WriteFile(filepath.Join(dir, t.ID+".md"), []byte(t.Markdown()), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, t.ID+".csv"), []byte(t.CSV()), 0o644)
 }
 
 // progressState is the -serve endpoint's view of the experiment loop.

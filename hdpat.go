@@ -43,6 +43,7 @@ import (
 	"context"
 	"fmt"
 
+	"hdpat/internal/attr"
 	"hdpat/internal/config"
 	"hdpat/internal/metrics"
 	"hdpat/internal/runner"
@@ -62,6 +63,14 @@ type IOMMUConfig = config.IOMMU
 // Result is the outcome of one simulation run.
 type Result = wafer.Result
 
+// Breakdown is the per-request latency attribution of one run (see
+// WithAttribution): per-stage cycle distributions with exact critical-path
+// accounting, the serving-source mix, TLB hierarchy hit rates, the per-link
+// NoC heatmap and sampled time series. It re-exports attr.Breakdown;
+// renderers are Breakdown.WriteMarkdown and Breakdown.HeatmapCSV (used by
+// cmd/report).
+type Breakdown = attr.Breakdown
+
 // MetricsRegistry collects named counters, gauges and log2 histograms from
 // every component of a run (see WithMetrics). It re-exports
 // metrics.Registry; create one with NewMetricsRegistry.
@@ -79,13 +88,24 @@ type MetricsProgress = metrics.Progress
 // NewMetricsRegistry returns an empty registry for WithMetrics.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
+// ServeOption adjusts which endpoints ServeMetrics exposes; see WithPprof.
+type ServeOption = metrics.ServeOption
+
+// WithPprof has ServeMetrics additionally mount the net/http/pprof
+// profiling endpoints under /debug/pprof/, so a live simulation can be
+// CPU- or heap-profiled over the metrics listener (see
+// docs/observability.md for the profiling workflow). Off by default: the
+// profiles expose process internals — enable it only on listeners that
+// are not publicly reachable.
+func WithPprof() ServeOption { return metrics.WithPprof() }
+
 // ServeMetrics serves reg over HTTP on addr: Prometheus text exposition on
 // /metrics, a JSON snapshot on /metrics.json, and — when progress is
-// non-nil — a JSON progress report on /progress. It blocks like
-// http.ListenAndServe; run it in a goroutine alongside a live simulation or
-// batch sharing reg.
-func ServeMetrics(addr string, reg *MetricsRegistry, progress func() MetricsProgress) error {
-	return metrics.ListenAndServe(addr, reg, progress)
+// non-nil — a JSON progress report on /progress. ServeOptions add more
+// endpoints (WithPprof). It blocks like http.ListenAndServe; run it in a
+// goroutine alongside a live simulation or batch sharing reg.
+func ServeMetrics(addr string, reg *MetricsRegistry, progress func() MetricsProgress, opts ...ServeOption) error {
+	return metrics.ListenAndServe(addr, reg, progress, opts...)
 }
 
 // PanicError is the error type wrapping a panic recovered from one run of a
@@ -175,6 +195,9 @@ func simulate(ctx context.Context, cfg Config, spec RunSpec, rc *runConfig) (Res
 		Seed:      spec.Seed,
 		MaxCycles: sim.VTime(rc.maxCycles),
 		Metrics:   rc.metrics,
+	}
+	if rc.attribution {
+		wopts.Attribution = &attr.Config{}
 	}
 	var owned *trace.Tracer
 	if rc.tracer != nil {

@@ -89,6 +89,37 @@ func (t Table) String() string {
 	return b.String()
 }
 
+// Markdown renders the table as a GitHub-flavoured Markdown section, the
+// format cmd/experiments -report writes per-experiment artifacts in. Pipes
+// inside cells are escaped so free-text notes columns cannot break rows.
+func (t Table) Markdown() string {
+	esc := func(c string) string { return strings.ReplaceAll(c, "|", "\\|") }
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	for i, h := range t.Header {
+		if i == 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(" " + esc(h) + " |")
+	}
+	b.WriteByte('\n')
+	for range t.Header {
+		b.WriteString("|---")
+	}
+	b.WriteString("|\n")
+	for _, r := range t.Rows {
+		b.WriteByte('|')
+		for _, c := range r {
+			b.WriteString(" " + esc(c) + " |")
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
 // Params configure a session.
 type Params struct {
 	// Quick restricts benchmarks and shrinks budgets for CI-speed runs.
@@ -157,7 +188,7 @@ func runKey(cfg config.System, scheme, bench string, opts wafer.Options) string 
 // sinks or series, which attach per-call state the cache cannot share).
 func plainRun(opts wafer.Options) bool {
 	return len(opts.Hooks) == 0 && opts.Metrics == nil && opts.Trace == nil &&
-		opts.QueueWindow == 0 && opts.ServedWindow == 0
+		opts.Attribution == nil && opts.QueueWindow == 0 && opts.ServedWindow == 0
 }
 
 // execute performs one simulation with the session's defaults applied. It

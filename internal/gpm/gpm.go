@@ -17,6 +17,7 @@ import (
 	"hdpat/internal/metrics"
 	"hdpat/internal/sim"
 	"hdpat/internal/tlb"
+	"hdpat/internal/trace"
 	"hdpat/internal/vm"
 	"hdpat/internal/xlat"
 )
@@ -91,6 +92,10 @@ type GPM struct {
 	FetchRemote func(owner int, line uint64, done func())
 	// NextReqID allocates wafer-unique translation request ids.
 	NextReqID func() uint64
+	// Trace, when non-nil, receives one request span per remote translation
+	// (issue at the GMMU boundary to completion) — the lifecycle anchor the
+	// attribution ledger stitches walk/queue/hop spans onto.
+	Trace *trace.Tracer
 
 	cus      []cuState
 	gap      sim.VTime
@@ -164,6 +169,23 @@ func New(eng *sim.Engine, id int, coord geom.Coord, cfg config.GPM, ps vm.PageSi
 		g.l1Caches = append(g.l1Caches, cache.New(cfg.L1VCache))
 	}
 	return g
+}
+
+// TLBStats returns per-level TLB statistics for this GPM: "l1" aggregated
+// over all CU-private instances, "l2", "ll" (the last-level GMMU cache) and
+// "aux" (the auxiliary translation cache). The attribution layer's TLB
+// section reads hit rates and lookup volumes through this seam.
+func (g *GPM) TLBStats() map[string]tlb.Stats {
+	var l1 tlb.Stats
+	for _, t := range g.l1TLBs {
+		l1.Add(t.Stats)
+	}
+	return map[string]tlb.Stats{
+		"l1":  l1,
+		"l2":  g.l2TLB.Stats,
+		"ll":  g.llTLB.Stats,
+		"aux": g.aux.Stats(),
+	}
 }
 
 // ReseedFilter inserts the VPNs of all locally mapped pages into the cuckoo
@@ -290,12 +312,15 @@ func (g *GPM) goRemote(k tlb.Key) {
 		g.m.remoteReqs.Inc()
 	}
 	issued := g.eng.Now()
-	req := xlat.NewRequest(g.NextReqID(), k.PID, k.VPN, g.ID, issued, func(res xlat.Result) {
+	var req *xlat.Request
+	req = xlat.NewRequest(g.NextReqID(), k.PID, k.VPN, g.ID, issued, func(res xlat.Result) {
+		done := g.eng.Now()
 		g.Stats.RemoteBySource[res.Source]++
-		g.Stats.RemoteLatencySum += uint64(g.eng.Now() - issued)
+		g.Stats.RemoteLatencySum += uint64(done - issued)
 		if g.m != nil {
-			g.m.remoteLat.Observe(uint64(g.eng.Now() - issued))
+			g.m.remoteLat.Observe(uint64(done - issued))
 		}
+		g.Trace.RequestSpan(uint64(issued), uint64(done), req.ID, int(res.Source), g.ID)
 		g.l2TLB.Insert(res.PTE)
 		g.completeL2(k, res.PTE)
 	})

@@ -175,6 +175,25 @@ func (io *IOMMU) RT() *RedirectTable { return io.rt }
 // QueueDepth returns the combined admission + PW-queue + in-service depth.
 func (io *IOMMU) QueueDepth() int { return len(io.admission) + len(io.pwq) + io.busy }
 
+// WalkersBusy returns the number of walkers currently in service — a
+// sampler probe for walker-occupancy time series.
+func (io *IOMMU) WalkersBusy() int { return io.busy }
+
+// traceQueue emits the admission- and PW-queue residency spans for a job
+// leaving the queue stages at time until, whatever path it leaves by (walk
+// start, revisit service, or redirection).
+func (io *IOMMU) traceQueue(j *job, until sim.VTime) {
+	if io.Trace == nil {
+		return
+	}
+	if j.enqueued > j.arrived {
+		io.Trace.QueueSpan("iommu.admission", uint64(j.arrived), uint64(j.enqueued), j.req.ID)
+	}
+	if until > j.enqueued {
+		io.Trace.QueueSpan("iommu.pwq", uint64(j.enqueued), uint64(until), j.req.ID)
+	}
+}
+
 func (io *IOMMU) noteQueue() {
 	d := len(io.admission) + len(io.pwq)
 	if d > io.Stats.PeakQueue {
@@ -293,6 +312,7 @@ func (io *IOMMU) dispatch() {
 				if io.m != nil {
 					io.m.redirects.Inc()
 				}
+				io.traceQueue(j, io.eng.Now())
 				io.Redirect(j.req, gpm)
 				continue
 			}
@@ -333,13 +353,8 @@ func (io *IOMMU) walkDone(j *job, started sim.VTime, service sim.VTime) {
 		io.m.walkersBusy.Set(int64(io.busy))
 		io.m.latency.Observe(uint64(io.eng.Now() - j.arrived))
 	}
+	io.traceQueue(j, started)
 	if io.Trace != nil {
-		if j.enqueued > j.arrived {
-			io.Trace.QueueSpan("iommu.admission", uint64(j.arrived), uint64(j.enqueued), j.req.ID)
-		}
-		if started > j.enqueued {
-			io.Trace.QueueSpan("iommu.pwq", uint64(j.enqueued), uint64(started), j.req.ID)
-		}
 		io.Trace.WalkSpan(uint64(started), uint64(started+service), j.req.ID, uint64(j.req.VPN))
 	}
 	k := tlb.Key{PID: j.req.PID, VPN: j.req.VPN}
@@ -429,6 +444,7 @@ func (io *IOMMU) revisit(k tlb.Key, pte vm.PTE, found bool) {
 			if io.m != nil {
 				io.m.revisits.Inc()
 			}
+			io.traceQueue(j, io.eng.Now())
 			if io.iotlb != nil {
 				io.completeTLBMSHR(tlb.Key{PID: j.req.PID, VPN: j.req.VPN}, pte, true)
 			} else {

@@ -3,6 +3,7 @@ package metrics
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
 )
 
 // Progress describes a live session for the /progress endpoint: how far a
@@ -47,22 +48,51 @@ func ProgressHandler(fn func() Progress) http.Handler {
 	})
 }
 
+// ServeOption adjusts which endpoints Mux and ListenAndServe expose.
+type ServeOption func(*serveConfig)
+
+type serveConfig struct{ pprof bool }
+
+// WithPprof additionally mounts the net/http/pprof profiling endpoints
+// under /debug/pprof/ (index, cmdline, profile, symbol, trace), so a live
+// simulation can be CPU- or heap-profiled over the same listener as its
+// metrics. Off by default: the profiles expose process internals, and the
+// CPU endpoint costs a sampling signal while active — opt in only on
+// listeners that are not publicly reachable.
+func WithPprof() ServeOption {
+	return func(c *serveConfig) { c.pprof = true }
+}
+
 // Mux wires the standard observability endpoints — /metrics (Prometheus
 // text), /metrics.json, and /progress (when progress is non-nil) — so a
 // live batch or experiments session can be watched while it simulates.
-func Mux(reg *Registry, progress func() Progress) *http.ServeMux {
+// ServeOptions add more: WithPprof mounts the profiling endpoints.
+func Mux(reg *Registry, progress func() Progress, opts ...ServeOption) *http.ServeMux {
+	var sc serveConfig
+	for _, o := range opts {
+		o(&sc)
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(reg))
 	mux.Handle("/metrics.json", JSONHandler(reg))
 	if progress != nil {
 		mux.Handle("/progress", ProgressHandler(progress))
 	}
+	if sc.pprof {
+		// The default-mux registrations from net/http/pprof, re-homed onto
+		// this mux so importing the package stays side-effect free here.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
-// ListenAndServe serves Mux(reg, progress) on addr; it blocks like
+// ListenAndServe serves Mux(reg, progress, opts...) on addr; it blocks like
 // http.ListenAndServe and is normally launched in a goroutine beside the
 // simulation.
-func ListenAndServe(addr string, reg *Registry, progress func() Progress) error {
-	return http.ListenAndServe(addr, Mux(reg, progress))
+func ListenAndServe(addr string, reg *Registry, progress func() Progress, opts ...ServeOption) error {
+	return http.ListenAndServe(addr, Mux(reg, progress, opts...))
 }

@@ -67,6 +67,38 @@ func TestMuxEndpoints(t *testing.T) {
 	}
 }
 
+func TestMuxPprofGated(t *testing.T) {
+	// Off by default.
+	srv := httptest.NewServer(Mux(NewRegistry(), nil))
+	resp, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("/debug/pprof/ without WithPprof: status %d, want 404", resp.StatusCode)
+	}
+	srv.Close()
+
+	// Mounted with the option; the index and a named profile must respond.
+	srv = httptest.NewServer(Mux(NewRegistry(), nil, WithPprof()))
+	defer srv.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap?debug=1", "/debug/pprof/cmdline"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Errorf("GET %s: empty body", path)
+		}
+	}
+}
+
 func TestMuxWithoutProgress(t *testing.T) {
 	srv := httptest.NewServer(Mux(NewRegistry(), nil))
 	defer srv.Close()

@@ -152,6 +152,130 @@ func TestMerge(t *testing.T) {
 	}
 }
 
+// TestMergeConcurrentPerRunRegistries is the batch path of batch.go: every
+// run owns a private registry and folds its final snapshot into the shared
+// session registry as it settles, from worker goroutines. The aggregate
+// must equal the arithmetic sum regardless of merge interleaving.
+func TestMergeConcurrentPerRunRegistries(t *testing.T) {
+	const runs = 16
+	agg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			run := NewRegistry() // per-run private registry
+			run.Counter("noc.messages").Add(uint64(100 + i))
+			run.Gauge("run.index").Set(int64(i))
+			for v := uint64(0); v <= uint64(i); v++ {
+				run.Histogram("iommu.latency").Observe(v * v)
+			}
+			agg.Merge(run.Snapshot())
+		}(i)
+	}
+	wg.Wait()
+
+	out := agg.Snapshot()
+	var wantC, wantCount, wantSum, wantMax uint64
+	for i := 0; i < runs; i++ {
+		wantC += uint64(100 + i)
+		for v := uint64(0); v <= uint64(i); v++ {
+			wantCount++
+			wantSum += v * v
+			if v*v > wantMax {
+				wantMax = v * v
+			}
+		}
+	}
+	if got := out.Counter("noc.messages"); got != wantC {
+		t.Errorf("merged counter = %d, want %d", got, wantC)
+	}
+	h := out.Histograms["iommu.latency"]
+	if h.Count != wantCount || h.Sum != wantSum || h.Max != wantMax {
+		t.Errorf("merged histogram = %+v, want count %d sum %d max %d", h, wantCount, wantSum, wantMax)
+	}
+	var bucketTotal uint64
+	for _, b := range h.Buckets {
+		bucketTotal += b
+	}
+	if bucketTotal != wantCount {
+		t.Errorf("bucket occupancy %d != count %d after merges", bucketTotal, wantCount)
+	}
+	// The gauge holds some run's index — last merge wins, any run is legal.
+	if g := out.Gauge("run.index"); g < 0 || g >= runs {
+		t.Errorf("merged gauge = %d, outside run range", g)
+	}
+}
+
+// TestMergeHistogramBucketEdges covers bucket-boundary cases of the merge:
+// trimmed bucket slices of different lengths, the zero-value bucket, the
+// top bucket, empty histograms, and max propagation in both directions.
+func TestMergeHistogramBucketEdges(t *testing.T) {
+	short := NewRegistry()
+	short.Histogram("h").Observe(0) // bucket 0: the zero-only bucket
+	short.Histogram("h").Observe(1) // bucket 1
+	long := NewRegistry()
+	long.Histogram("h").Observe(1 << 63)       // top bucket (NumBuckets-1)
+	long.Histogram("h").Observe((1 << 63) - 1) // one bucket below
+	long.Histogram("empty").Observe(5)         // series absent on the other side
+	agg := NewRegistry()
+	agg.Merge(short.Snapshot()) // short Buckets slice first...
+	agg.Merge(long.Snapshot())  // ...then one trimmed far longer
+	agg.Merge(NewRegistry().Snapshot())
+
+	h := agg.Snapshot().Histograms["h"]
+	if h.Count != 4 || h.Max != 1<<63 {
+		t.Fatalf("merged histogram = %+v", h)
+	}
+	if len(h.Buckets) != NumBuckets {
+		t.Fatalf("bucket slice trimmed to %d, want full %d (top bucket occupied)", len(h.Buckets), NumBuckets)
+	}
+	for i, want := range map[int]uint64{0: 1, 1: 1, NumBuckets - 2: 1, NumBuckets - 1: 1} {
+		if h.Buckets[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, h.Buckets[i], want)
+		}
+	}
+	// Merging the larger max first then a smaller one must keep the larger.
+	rev := NewRegistry()
+	rev.Merge(long.Snapshot())
+	rev.Merge(short.Snapshot())
+	if got := rev.Snapshot().Histograms["h"].Max; got != 1<<63 {
+		t.Errorf("reverse-order merge max = %d, want %d", got, uint64(1)<<63)
+	}
+	if e := agg.Snapshot().Histograms["empty"]; e.Count != 1 || e.Sum != 5 {
+		t.Errorf("one-sided series merged to %+v", e)
+	}
+}
+
+// TestDiffDisjointAndHistogramCounts: diffs over snapshots with disjoint
+// series report one-sided entries with the correct sign, and histogram
+// series diff by count.
+func TestDiffDisjointAndHistogramCounts(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("only.a").Add(3)
+	a.Histogram("h").Observe(10)
+	a.Histogram("h").Observe(20)
+	b := NewRegistry()
+	b.Counter("only.b").Add(7)
+	b.Gauge("g").Set(-4)
+	b.Histogram("h").Observe(99)
+	b.Histogram("only.b.h").Observe(1)
+
+	d := a.Snapshot().Diff(b.Snapshot())
+	want := map[string]float64{
+		"only.a": 3, "only.b": -7, "g": 4,
+		"h.count": 1, "only.b.h.count": -1,
+	}
+	for k, v := range want {
+		if d[k] != v {
+			t.Errorf("diff[%q] = %v, want %v", k, d[k], v)
+		}
+	}
+	if d := (*Snapshot)(nil).Diff(b.Snapshot()); d != nil {
+		t.Error("nil snapshot diff should be nil")
+	}
+}
+
 func TestSnapshotValueSeriesDiff(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("c").Add(4)

@@ -189,6 +189,20 @@ func (m *Mesh) hop(cur geom.Coord, path []geom.Coord, i, size int, deliver func(
 	})
 }
 
+// VisitLinks calls fn for every directed output link with its tile
+// coordinate, direction label ("e", "w", "s", "n") and accumulated busy
+// cycles, in deterministic tile-major order. The attribution sampler and
+// heatmap builders read link occupancy through this seam; like everything
+// else in the observability layer it is read-only.
+func (m *Mesh) VisitLinks(fn func(c geom.Coord, dir string, busy sim.VTime)) {
+	for i := range m.links {
+		c := m.layout.CoordOf(i)
+		for d := 0; d < 4; d++ {
+			fn(c, dirNames[d], m.links[i][d].line.BusyCycles)
+		}
+	}
+}
+
 // LatencyLowerBound returns the zero-load latency between two tiles: hops x
 // hop latency (serialisation excluded). Useful for analytical checks.
 func (m *Mesh) LatencyLowerBound(src, dst geom.Coord) sim.VTime {

@@ -58,6 +58,13 @@ type Engine struct {
 	// m mirrors dispatch activity into an attached metrics registry; nil
 	// (the default) costs one branch per event.
 	m *engineMetrics
+
+	// Periodic sampler (AttachSampler): fired between events at window
+	// boundaries, never through the event heap, so an attached sampler
+	// cannot perturb event order, Processed counts, or results.
+	samplePeriod VTime
+	sampleNext   VTime
+	sampleFn     func(at VTime)
 }
 
 // engineMetrics are the engine's registry series.
@@ -84,6 +91,33 @@ func (m *engineMetrics) note(pending int) {
 	m.events.Inc()
 	m.heap.Set(int64(pending))
 	m.peak.Max(int64(pending))
+}
+
+// AttachSampler arranges for fn to be called at every multiple of period
+// cycles, between event executions — the periodic probe behind queue-depth
+// and link-utilisation time series. Unlike a self-rescheduling event, the
+// sampler never touches the event heap: before an event at time t runs, fn
+// fires once for each elapsed boundary <= t (in boundary order), observing
+// simulator state as of the previous event. fn receives the boundary time
+// (the engine clock has not advanced yet) and must only read state — it must
+// not schedule events or mutate components, so a sampled run is identical to
+// an unsampled one. A zero period or nil fn detaches the sampler.
+func (e *Engine) AttachSampler(period VTime, fn func(at VTime)) {
+	if period == 0 || fn == nil {
+		e.samplePeriod, e.sampleFn = 0, nil
+		return
+	}
+	e.samplePeriod = period
+	e.sampleNext = (e.now/period + 1) * period
+	e.sampleFn = fn
+}
+
+// fireSamples invokes the sampler for every boundary at or before upto.
+func (e *Engine) fireSamples(upto VTime) {
+	for e.sampleNext <= upto {
+		e.sampleFn(e.sampleNext)
+		e.sampleNext += e.samplePeriod
+	}
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -136,6 +170,9 @@ func (e *Engine) RunUntil(limit VTime) {
 			return
 		}
 		ev := e.events.popEvent()
+		if e.sampleFn != nil {
+			e.fireSamples(ev.time)
+		}
 		e.now = ev.time
 		e.Processed++
 		if e.m != nil {
@@ -151,6 +188,9 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := e.events.popEvent()
+	if e.sampleFn != nil {
+		e.fireSamples(ev.time)
+	}
 	e.now = ev.time
 	e.Processed++
 	if e.m != nil {

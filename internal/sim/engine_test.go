@@ -324,6 +324,108 @@ func TestEngineStopMidDrainDeterminism(t *testing.T) {
 	}
 }
 
+func TestEngineSamplerBoundaries(t *testing.T) {
+	e := NewEngine()
+	var samples []VTime
+	e.AttachSampler(10, func(at VTime) { samples = append(samples, at) })
+	for _, d := range []VTime{5, 12, 35, 35, 60} {
+		e.At(d, func() {})
+	}
+	e.Run()
+	// Boundaries fire only when an event at or past them runs: 10 before the
+	// t=12 event; 20 and 30 before t=35; 40, 50 and 60 before t=60. No
+	// boundary beyond the final event, and none at 0.
+	want := []VTime{10, 20, 30, 40, 50, 60}
+	if len(samples) != len(want) {
+		t.Fatalf("samples = %v, want %v", samples, want)
+	}
+	for i := range want {
+		if samples[i] != want[i] {
+			t.Fatalf("samples = %v, want %v", samples, want)
+		}
+	}
+}
+
+func TestEngineSamplerObserveOnly(t *testing.T) {
+	run := func(e *Engine) ([]int, uint64) {
+		var log []int
+		for i := 0; i < 30; i++ {
+			i := i
+			e.Schedule(VTime((i*13)%40), func() { log = append(log, i) })
+		}
+		e.Run()
+		return log, e.Processed
+	}
+	plain, plainN := run(NewEngine())
+	es := NewEngine()
+	fired := 0
+	es.AttachSampler(7, func(VTime) { fired++ })
+	sampled, sampledN := run(es)
+	if plainN != sampledN {
+		t.Fatalf("Processed %d with sampler vs %d without", sampledN, plainN)
+	}
+	if len(plain) != len(sampled) {
+		t.Fatalf("event counts diverged: %d vs %d", len(sampled), len(plain))
+	}
+	for i := range plain {
+		if plain[i] != sampled[i] {
+			t.Fatalf("sampler perturbed order: %v vs %v", sampled, plain)
+		}
+	}
+	if fired == 0 {
+		t.Fatal("sampler never fired")
+	}
+}
+
+func TestEngineSamplerSeesPreEventState(t *testing.T) {
+	// The sampler at boundary b observes state as of the last event before b:
+	// the engine clock has not advanced to the triggering event yet.
+	e := NewEngine()
+	var clockAtSample []VTime
+	e.AttachSampler(10, func(at VTime) { clockAtSample = append(clockAtSample, e.Now()) })
+	e.At(4, func() {})
+	e.At(25, func() {})
+	e.Run()
+	// Boundaries 10 and 20 fire before the t=25 event, with the clock still 4.
+	if len(clockAtSample) != 2 || clockAtSample[0] != 4 || clockAtSample[1] != 4 {
+		t.Fatalf("engine clock at sample times = %v, want [4 4]", clockAtSample)
+	}
+}
+
+func TestEngineSamplerStepAndDetach(t *testing.T) {
+	e := NewEngine()
+	var samples []VTime
+	e.AttachSampler(5, func(at VTime) { samples = append(samples, at) })
+	e.At(7, func() {})
+	e.At(13, func() {})
+	if !e.Step() { // fires boundary 5 before the t=7 event
+		t.Fatal("Step returned false")
+	}
+	if len(samples) != 1 || samples[0] != 5 {
+		t.Fatalf("samples after first Step = %v, want [5]", samples)
+	}
+	e.AttachSampler(0, nil) // detach
+	e.Run()
+	if len(samples) != 1 {
+		t.Fatalf("detached sampler still fired: %v", samples)
+	}
+}
+
+func TestEngineSamplerAttachMidRunAligns(t *testing.T) {
+	e := NewEngine()
+	var samples []VTime
+	e.At(23, func() {
+		// Attaching at t=23 with period 10 aligns the next boundary to 30 —
+		// never a boundary in the past.
+		e.AttachSampler(10, func(at VTime) { samples = append(samples, at) })
+	})
+	e.At(31, func() {})
+	e.Run()
+	if len(samples) != 1 || samples[0] != 30 {
+		t.Fatalf("samples = %v, want [30]", samples)
+	}
+}
+
 func TestEngineMetricsObserveOnly(t *testing.T) {
 	reg := metrics.NewRegistry()
 	run := func(e *Engine) []int {

@@ -11,6 +11,12 @@
 // Batch runs share one output stream: Run(pid) derives a child tracer whose
 // events carry that pid (one per batch index), serialised onto the shared
 // writer under the parent's lock.
+//
+// Beyond the output stream, a tracer can fan typed spans out to an
+// in-process Sink (Attach): the attribution ledger of internal/attr consumes
+// walk, queue, hop and request spans this way at simulation time, without a
+// write/parse round trip. A sink-only tracer (Attach over a nil tracer)
+// emits no bytes at all.
 package trace
 
 import (
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Format selects the output encoding.
@@ -37,12 +44,35 @@ type KV struct {
 	V uint64
 }
 
-// state is the output stream shared by a tracer and its Run children.
+// Sink receives typed spans in-process as they are emitted, before they are
+// encoded to the output stream. Implementations must treat the calls as
+// observations only: they run inside the simulation loop and must not
+// schedule events or mutate simulator state. internal/attr's Collector is
+// the canonical implementation.
+type Sink interface {
+	// OnRequest sees one remote translation lifecycle: issue at the GPM's
+	// GMMU boundary to completion, with the serving source (an xlat.Source
+	// ordinal) and the requesting GPM.
+	OnRequest(start, end uint64, req uint64, source, gpm int)
+	// OnQueue sees one queue-stage residency ("iommu.admission",
+	// "iommu.pwq").
+	OnQueue(stage string, start, end uint64, req uint64)
+	// OnWalk sees one page-table walk occupying an IOMMU walker.
+	OnWalk(start, end uint64, req, vpn uint64)
+	// OnHop sees one NoC link traversal.
+	OnHop(start, end uint64, fromX, fromY, toX, toY, size int)
+	// OnMigration sees one completed page migration.
+	OnMigration(start, end uint64, vpn uint64, from, to int)
+}
+
+// state is the output stream shared by a tracer and its Run children. A nil
+// writer marks a sink-only tracer: spans reach the sink but no bytes are
+// emitted.
 type state struct {
 	mu     sync.Mutex
 	w      *bufio.Writer
 	format Format
-	events uint64
+	events atomic.Uint64
 	opened bool
 	closed bool
 	err    error
@@ -50,8 +80,9 @@ type state struct {
 
 // Tracer emits events for one run (identified by pid in batch traces).
 type Tracer struct {
-	st  *state
-	pid int
+	st   *state
+	pid  int
+	sink Sink
 }
 
 // New creates a tracer writing to w in the given format. Call Close when the
@@ -61,23 +92,36 @@ func New(w io.Writer, format Format) *Tracer {
 	return &Tracer{st: &state{w: bufio.NewWriterSize(w, 1<<16), format: format}}
 }
 
+// Attach returns a tracer that forwards typed spans to sink in addition to
+// t's output stream. A nil t yields a sink-only tracer that writes nothing;
+// a nil sink returns t unchanged. The returned tracer shares t's stream and
+// pid, so it can replace t at every instrumentation site of a run.
+func Attach(t *Tracer, sink Sink) *Tracer {
+	if sink == nil {
+		return t
+	}
+	if t == nil {
+		return &Tracer{st: &state{}, sink: sink}
+	}
+	return &Tracer{st: t.st, pid: t.pid, sink: sink}
+}
+
 // Run derives a child tracer for one run of a batch: same stream, events
 // tagged with pid so viewers separate the runs.
 func (t *Tracer) Run(pid int) *Tracer {
 	if t == nil {
 		return nil
 	}
-	return &Tracer{st: t.st, pid: pid}
+	return &Tracer{st: t.st, pid: pid, sink: t.sink}
 }
 
-// Events returns the number of events emitted so far.
+// Events returns the number of events emitted so far. It is safe to call
+// concurrently with emission (progress reporting, tests).
 func (t *Tracer) Events() uint64 {
 	if t == nil {
 		return 0
 	}
-	t.st.mu.Lock()
-	defer t.st.mu.Unlock()
-	return t.st.events
+	return t.st.events.Load()
 }
 
 // Close flushes the stream and terminates the Chrome JSON array. It returns
@@ -89,7 +133,7 @@ func (t *Tracer) Close() error {
 	st := t.st
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.closed {
+	if st.closed || st.w == nil {
 		return st.err
 	}
 	st.closed = true
@@ -116,7 +160,10 @@ func (t *Tracer) emit(tid, name string, ts uint64, dur int64, kv []KV) {
 	if st.closed {
 		return
 	}
-	st.events++
+	st.events.Add(1)
+	if st.w == nil { // sink-only tracer: count the event, write nothing
+		return
+	}
 	w := st.w
 	switch st.format {
 	case Chrome:
@@ -179,6 +226,9 @@ func (t *Tracer) WalkSpan(start, end uint64, req, vpn uint64) {
 	if t == nil {
 		return
 	}
+	if t.sink != nil {
+		t.sink.OnWalk(start, end, req, vpn)
+	}
 	t.emit("iommu", "walk", start, int64(end-start), []KV{{"req", req}, {"vpn", vpn}})
 }
 
@@ -188,6 +238,9 @@ func (t *Tracer) QueueSpan(stage string, start, end uint64, req uint64) {
 	if t == nil {
 		return
 	}
+	if t.sink != nil {
+		t.sink.OnQueue(stage, start, end, req)
+	}
 	t.emit(stage, "queued", start, int64(end-start), []KV{{"req", req}})
 }
 
@@ -196,6 +249,9 @@ func (t *Tracer) QueueSpan(stage string, start, end uint64, req uint64) {
 func (t *Tracer) HopSpan(start, end uint64, fromX, fromY, toX, toY, size int) {
 	if t == nil {
 		return
+	}
+	if t.sink != nil {
+		t.sink.OnHop(start, end, fromX, fromY, toX, toY, size)
 	}
 	t.emit("noc", "hop", start, int64(end-start), []KV{
 		{"fx", uint64(fromX)}, {"fy", uint64(fromY)},
@@ -210,7 +266,27 @@ func (t *Tracer) MigrationSpan(start, end uint64, vpn uint64, from, to int) {
 	if t == nil {
 		return
 	}
+	if t.sink != nil {
+		t.sink.OnMigration(start, end, vpn, from, to)
+	}
 	t.emit("migrate", "migration", start, int64(end-start), []KV{
 		{"vpn", vpn}, {"from", uint64(from)}, {"to", uint64(to)},
+	})
+}
+
+// RequestSpan records one remote translation lifecycle — request issue at
+// the GPM's GMMU boundary through completion — with the serving source (an
+// xlat.Source ordinal) and the requesting GPM. Emitted by the GPM at
+// completion time, it is the stitching anchor the attribution ledger hangs
+// walk/queue spans off.
+func (t *Tracer) RequestSpan(start, end uint64, req uint64, source, gpm int) {
+	if t == nil {
+		return
+	}
+	if t.sink != nil {
+		t.sink.OnRequest(start, end, req, source, gpm)
+	}
+	t.emit("xlat", "request", start, int64(end-start), []KV{
+		{"req", req}, {"src", uint64(source)}, {"gpm", uint64(gpm)},
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -15,6 +16,7 @@ func TestNilTracerIsSafe(t *testing.T) {
 	tr.QueueSpan("iommu.pwq", 0, 5, 1)
 	tr.HopSpan(0, 32, 0, 0, 1, 0, 64)
 	tr.MigrationSpan(0, 100, 42, 1, 2)
+	tr.RequestSpan(0, 100, 1, 0, 3)
 	if tr.Run(3) != nil {
 		t.Error("nil.Run should stay nil")
 	}
@@ -127,6 +129,114 @@ func TestEmitAfterCloseDropped(t *testing.T) {
 	}
 	if err := tr.Close(); err != nil {
 		t.Error("double Close should be idempotent:", err)
+	}
+}
+
+// recordingSink captures typed sink callbacks for assertions.
+type recordingSink struct {
+	requests, queues, walks, hops, migrations int
+	lastStage                                 string
+	lastSource                                int
+}
+
+func (s *recordingSink) OnRequest(start, end uint64, req uint64, source, gpm int) {
+	s.requests++
+	s.lastSource = source
+}
+func (s *recordingSink) OnQueue(stage string, start, end uint64, req uint64) {
+	s.queues++
+	s.lastStage = stage
+}
+func (s *recordingSink) OnWalk(start, end uint64, req, vpn uint64)         { s.walks++ }
+func (s *recordingSink) OnHop(start, end uint64, fx, fy, tx, ty, size int) { s.hops++ }
+func (s *recordingSink) OnMigration(start, end uint64, vpn uint64, from, to int) {
+	s.migrations++
+}
+
+// TestSinkReceivesTypedSpans: Attach fans every typed span out to the sink
+// while the stream still sees it.
+func TestSinkReceivesTypedSpans(t *testing.T) {
+	var buf bytes.Buffer
+	var sink recordingSink
+	tr := Attach(New(&buf, JSONL), &sink)
+	tr.WalkSpan(0, 10, 1, 2)
+	tr.QueueSpan("iommu.pwq", 0, 5, 1)
+	tr.HopSpan(0, 32, 0, 0, 1, 0, 64)
+	tr.MigrationSpan(0, 100, 42, 1, 2)
+	tr.RequestSpan(0, 50, 1, 3, 7)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.walks != 1 || sink.queues != 1 || sink.hops != 1 || sink.migrations != 1 || sink.requests != 1 {
+		t.Errorf("sink = %+v", sink)
+	}
+	if sink.lastStage != "iommu.pwq" || sink.lastSource != 3 {
+		t.Errorf("sink payloads = %+v", sink)
+	}
+	if got := len(strings.Split(strings.TrimSpace(buf.String()), "\n")); got != 5 {
+		t.Errorf("stream got %d lines, want 5", got)
+	}
+}
+
+// TestSinkOnlyTracer: Attach over a nil tracer observes spans but writes
+// nothing, and Close is a no-op.
+func TestSinkOnlyTracer(t *testing.T) {
+	var sink recordingSink
+	tr := Attach(nil, &sink)
+	tr.WalkSpan(0, 10, 1, 2)
+	tr.RequestSpan(0, 50, 1, 0, 0)
+	if sink.walks != 1 || sink.requests != 1 {
+		t.Errorf("sink = %+v", sink)
+	}
+	if tr.Events() != 2 {
+		t.Errorf("events = %d, want 2", tr.Events())
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if Attach(nil, nil) != nil {
+		t.Error("Attach(nil, nil) should stay nil")
+	}
+}
+
+// TestEventsConcurrent: Events() may race with emission from batch workers —
+// the counter must be clean under the race detector.
+func TestEventsConcurrent(t *testing.T) {
+	tr := New(&bytes.Buffer{}, JSONL)
+	const workers, perWorker = 4, 250
+	var emitters sync.WaitGroup
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() { // concurrent reader, as tests and progress reporters do
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = tr.Events()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		emitters.Add(1)
+		go func(w int) {
+			defer emitters.Done()
+			child := tr.Run(w)
+			for i := uint64(0); i < perWorker; i++ {
+				child.WalkSpan(i, i+1, i, i)
+			}
+		}(w)
+	}
+	emitters.Wait()
+	close(stop)
+	reader.Wait()
+	if got := tr.Events(); got != workers*perWorker {
+		t.Errorf("events = %d, want %d", got, workers*perWorker)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 
+	"hdpat/internal/attr"
 	"hdpat/internal/config"
 	"hdpat/internal/core"
 	"hdpat/internal/geom"
@@ -104,6 +105,11 @@ type Options struct {
 	// queueing, NoC hops, migrations). Tracing only observes; a traced run
 	// is cycle-for-cycle identical to an untraced one.
 	Trace *trace.Tracer
+	// Attribution, when non-nil, attaches the per-request latency ledger
+	// (internal/attr): the run's Breakdown lands on Result.Breakdown. Works
+	// with or without Trace; like the other observers it never perturbs
+	// results.
+	Attribution *attr.Config
 	// Validate cross-checks every remote translation result against the
 	// global page table and records mismatches in Result.ValidationErrors.
 	// Intended for tests; adds a lookup per remote translation. Do not
@@ -149,6 +155,10 @@ type Result struct {
 	// Metrics is the run's final registry snapshot when Options.Metrics was
 	// set (nil otherwise).
 	Metrics *metrics.Snapshot
+
+	// Breakdown is the per-request latency attribution when
+	// Options.Attribution was set (nil otherwise).
+	Breakdown *attr.Breakdown
 }
 
 // RemoteBySource aggregates per-source remote translation counts.
@@ -272,7 +282,16 @@ func RunContext(ctx context.Context, cfg config.System, opts Options) (Result, e
 		eng.AttachMetrics(reg)
 		network.AttachMetrics(reg)
 	}
-	network.Trace = opts.Trace
+	// The attribution ledger rides the tracer seam: Attach fans typed spans
+	// out to the collector (sink-only when no trace output was requested),
+	// and the resulting tracer replaces opts.Trace at every component.
+	tr := opts.Trace
+	var coll *attr.Collector
+	if opts.Attribution != nil {
+		coll = attr.NewCollector(*opts.Attribution)
+		tr = trace.Attach(tr, coll)
+	}
+	network.Trace = tr
 
 	placement := vm.NewPlacement(numGPMs, cfg.PageSize)
 	regions := map[string]vm.Region{}
@@ -297,7 +316,20 @@ func RunContext(ctx context.Context, cfg config.System, opts Options) (Result, e
 
 	io := iommu.New(eng, cfg.IOMMU, mesh.CPU, network, placement.Global())
 	io.GPMCoord = func(id int) geom.Coord { return gpms[id].Coord }
-	io.Trace = opts.Trace
+	io.Trace = tr
+	if coll != nil {
+		// Periodic sampler: queue-depth, walker-occupancy and link-busy
+		// series once per attribution window, fired between events so the
+		// heap and event order are untouched.
+		coll.Probes(io.QueueDepth, io.WalkersBusy, func(v attr.LinkVisitor) {
+			network.VisitLinks(func(c geom.Coord, dir string, busy sim.VTime) {
+				v(c.X, c.Y, dir, uint64(busy))
+			})
+		})
+		eng.AttachSampler(sim.VTime(coll.Window()), func(at sim.VTime) {
+			coll.Sample(uint64(at))
+		})
+	}
 	if reg != nil {
 		io.AttachMetrics(reg)
 		for _, g := range gpms {
@@ -337,7 +369,7 @@ func RunContext(ctx context.Context, cfg config.System, opts Options) (Result, e
 	var migrator *migrate.Manager
 	if opts.Migration != nil {
 		migrator = migrate.New(fabric, *opts.Migration)
-		migrator.Trace = opts.Trace
+		migrator.Trace = tr
 		if reg != nil {
 			migrator.AttachMetrics(reg)
 		}
@@ -351,6 +383,7 @@ func RunContext(ctx context.Context, cfg config.System, opts Options) (Result, e
 		g := g
 		g.Remote = scheme
 		g.NextReqID = nextID
+		g.Trace = tr
 		g.FetchRemote = func(owner int, line uint64, done func()) {
 			oc := gpms[owner].Coord
 			network.Send(g.Coord, oc, xlat.DataReqBytes, func() {
@@ -422,6 +455,14 @@ func RunContext(ctx context.Context, cfg config.System, opts Options) (Result, e
 		reg.Gauge("run.cycles").Set(int64(res.Cycles))
 		reg.Gauge("run.total_ops").Set(int64(totalOps))
 		res.Metrics = reg.Snapshot()
+	}
+	if coll != nil {
+		for _, g := range gpms {
+			for level, s := range g.TLBStats() {
+				coll.AddTLB(level, s.Hits, s.Misses)
+			}
+		}
+		res.Breakdown = coll.Finalize(res.Scheme, res.Benchmark, uint64(res.Cycles))
 	}
 	return res, runErr
 }

@@ -25,6 +25,7 @@ type runConfig struct {
 	perRun     func(i int) []Option
 
 	metrics     *metrics.Registry
+	attribution bool
 	traceW      io.Writer
 	traceFormat trace.Format
 	// tracer, when set, overrides traceW with a pre-built (batch child)
@@ -125,6 +126,19 @@ func WithProgress(f func(done, total int)) Option {
 // option, at a cost of one branch per instrumented hot-path site.
 func WithMetrics(reg *metrics.Registry) Option {
 	return func(rc *runConfig) { rc.metrics = reg }
+}
+
+// WithAttribution attaches the per-request latency attribution ledger to
+// every run of the call: trace spans are stitched into complete translation
+// lifecycles at simulation time and reduced into per-stage cycle breakdowns
+// (admission / pwq / walk / wire, with exact critical-path accounting and
+// p50/p95/p99), a per-link NoC heatmap and sampled queue-depth series. The
+// finished attribution lands on Result.Breakdown; comparisons expose the
+// per-stage delta via ComparisonResult.BreakdownDiff. Attribution only
+// observes — results are byte-identical with it on or off — and composes
+// freely with WithMetrics and WithTrace.
+func WithAttribution() Option {
+	return func(rc *runConfig) { rc.attribution = true }
 }
 
 // WithTrace streams cycle-domain spans (IOMMU walks and queueing, NoC link
