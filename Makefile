@@ -7,7 +7,7 @@ GO ?= go
 BENCH ?= BenchmarkBatch3x3
 BENCHTIME ?= 3x
 
-.PHONY: build test race vet check bench bench-check bench-all report
+.PHONY: build test race vet check verify-invariants bench bench-check bench-all report
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,17 @@ vet:
 	$(GO) vet ./...
 
 check: vet race
+
+# Invariant conformance gate: run every scheme x benchmark pair — at the
+# Table I configuration and across randomized small wafers — under the
+# simulation invariant checker (hdpat.WithInvariants), plus the
+# serial-vs-parallel determinism cross-check. The ops/rand budget bounds the
+# run to about a minute; raise INV_OPS locally for a deeper sweep. See
+# docs/invariants.md for the invariant catalogue.
+INV_OPS ?= 2
+INV_RAND ?= 2
+verify-invariants:
+	$(GO) run ./cmd/verifyinv -ops $(INV_OPS) -rand $(INV_RAND)
 
 # Machine-readable benchmark run: the batch-engine benchmarks (override
 # with BENCH=...) with allocation stats, teed to results/bench.txt and

@@ -44,6 +44,7 @@ import (
 	"fmt"
 
 	"hdpat/internal/attr"
+	"hdpat/internal/check"
 	"hdpat/internal/config"
 	"hdpat/internal/metrics"
 	"hdpat/internal/runner"
@@ -119,7 +120,16 @@ var (
 	ErrUnknownScheme = wafer.ErrUnknownScheme
 	// ErrUnknownBenchmark reports a benchmark not listed by Benchmarks().
 	ErrUnknownBenchmark = workload.ErrUnknownBenchmark
+	// ErrInvariant matches every invariant violation reported under
+	// WithInvariants, including through joined errors.
+	ErrInvariant = check.ErrInvariant
 )
+
+// InvariantViolation is one invariant breach found under WithInvariants,
+// naming the invariant, the request involved (0 when not per-request), and
+// the detection cycle. It re-exports check.Violation; violations arrive
+// joined into the run error and unwrap with errors.As.
+type InvariantViolation = check.Violation
 
 // DefaultConfig returns the paper's Table I system: a 7x7 wafer of
 // quarter-MI100 GPMs with a central CPU/IOMMU, 4 KB pages.
@@ -193,8 +203,9 @@ func simulate(ctx context.Context, cfg Config, spec RunSpec, rc *runConfig) (Res
 		Benchmark: b,
 		OpsBudget: spec.OpsBudget,
 		Seed:      spec.Seed,
-		MaxCycles: sim.VTime(rc.maxCycles),
-		Metrics:   rc.metrics,
+		MaxCycles:  sim.VTime(rc.maxCycles),
+		Metrics:    rc.metrics,
+		Invariants: rc.invariants,
 	}
 	if rc.attribution {
 		wopts.Attribution = &attr.Config{}

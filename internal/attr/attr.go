@@ -178,6 +178,12 @@ type Breakdown struct {
 	// end-to-end latency — always 0 in a well-formed trace; nonzero flags a
 	// span-emission bug rather than a property of the workload.
 	Clipped uint64 `json:"clipped"`
+	// LateSpans counts queue/walk spans that arrived after their request had
+	// already completed — the dispatch skip path emits the residency of a
+	// request answered elsewhere while it queued. Late spans are counted,
+	// never stitched: the request's breakdown was finalised at completion,
+	// so stitching would corrupt the exact accounting.
+	LateSpans uint64 `json:"late_spans"`
 	// Migrations counts completed page migrations during the run.
 	Migrations uint64 `json:"migrations"`
 
@@ -249,11 +255,13 @@ type Collector struct {
 	cfg Config
 
 	open    map[uint64]*pending
+	closed  map[uint64]struct{}
 	stages  map[string]*Dist
 	sources map[string]uint64
 	links   map[linkKey]*linkAgg
 	tlb     map[string]*TLBLevel
 	clipped uint64
+	late    uint64
 	migs    uint64
 
 	queueProbe   func() int
@@ -272,6 +280,7 @@ func NewCollector(cfg Config) *Collector {
 	c := &Collector{
 		cfg:      cfg,
 		open:     make(map[uint64]*pending),
+		closed:   make(map[uint64]struct{}),
 		stages:   make(map[string]*Dist),
 		sources:  make(map[string]uint64),
 		links:    make(map[linkKey]*linkAgg),
@@ -308,8 +317,13 @@ func (c *Collector) get(req uint64) *pending {
 }
 
 // OnQueue accumulates one queue-stage residency onto the request's ledger
-// entry (trace.Sink).
+// entry (trace.Sink). A span for an already-completed request (the dispatch
+// skip path) is counted as late rather than opening a dangling entry.
 func (c *Collector) OnQueue(stage string, start, end uint64, req uint64) {
+	if _, done := c.closed[req]; done {
+		c.late++
+		return
+	}
 	p := c.get(req)
 	switch stage {
 	case "iommu.admission":
@@ -320,8 +334,13 @@ func (c *Collector) OnQueue(stage string, start, end uint64, req uint64) {
 }
 
 // OnWalk accumulates one walker occupancy onto the request's ledger entry
-// (trace.Sink).
+// (trace.Sink). Like OnQueue, a span postdating the request's completion is
+// counted late, not stitched.
 func (c *Collector) OnWalk(start, end uint64, req, vpn uint64) {
+	if _, done := c.closed[req]; done {
+		c.late++
+		return
+	}
 	c.get(req).walk += end - start
 }
 
@@ -367,6 +386,7 @@ func (c *Collector) OnRequest(start, end uint64, req uint64, source, gpm int) {
 		adm, pwq, walk = p.admission, p.pwq, p.walk
 		delete(c.open, req)
 	}
+	c.closed[req] = struct{}{}
 	var wire uint64
 	if svc := adm + pwq + walk; svc <= total {
 		wire = total - svc
@@ -442,6 +462,7 @@ func (c *Collector) Finalize(scheme, benchmark string, cycles uint64) *Breakdown
 		Requests:   c.stages[StageTotal].Count,
 		Unfinished: uint64(len(c.open)),
 		Clipped:    c.clipped,
+		LateSpans:  c.late,
 		Migrations: c.migs,
 		Stages:     c.stages,
 		Sources:    c.sources,

@@ -309,3 +309,37 @@ func TestReplayRunFilter(t *testing.T) {
 		t.Errorf("filtered replay = %+v", b)
 	}
 }
+
+// A queue or walk span arriving after its request completed (the dispatch
+// skip path emits residency spans for requests answered elsewhere) must be
+// counted late — never stitched into the finished breakdown and never left
+// dangling as an unfinished ledger entry.
+func TestLateSpansCountedNotStitched(t *testing.T) {
+	c := NewCollector(Config{})
+	feed(c, 1, 0, 100, 100, 150, 250, 300, 0)
+	before := c.Finalize("s", "b", 0).Stage(StageTotal).Sum
+
+	// req 1 is done: its residency spans postdate completion.
+	c.OnQueue("iommu.pwq", 300, 400, 1)
+	c.OnQueue("iommu.admission", 300, 350, 1)
+	c.OnWalk(300, 500, 1, 9)
+
+	b := c.Finalize("s", "b", 1000)
+	if b.LateSpans != 3 {
+		t.Errorf("late spans = %d, want 3", b.LateSpans)
+	}
+	if b.Unfinished != 0 {
+		t.Errorf("unfinished = %d; late spans must not open dangling entries", b.Unfinished)
+	}
+	if b.Stage(StageTotal).Sum != before {
+		t.Errorf("late spans were stitched: total %d != %d", b.Stage(StageTotal).Sum, before)
+	}
+	var stageSum uint64
+	for _, s := range StageOrder {
+		stageSum += b.Stage(s).Sum
+	}
+	if stageSum != b.Stage(StageTotal).Sum || b.Clipped != 0 {
+		t.Errorf("exact accounting broken: stages=%d total=%d clipped=%d",
+			stageSum, b.Stage(StageTotal).Sum, b.Clipped)
+	}
+}

@@ -45,6 +45,16 @@ type Stats struct {
 	PushesDemand uint64
 	PushesPref   uint64
 	MSHRBlocked  uint64 // IOMMU-TLB variant: arrivals blocked on full MSHRs
+	// MSHRMerged counts IOMMU-TLB variant arrivals coalesced into an
+	// outstanding miss register: they complete with the register's walk
+	// without enqueueing. Together with TLBHits, Walks, RTRedirects,
+	// Revisits and SkippedCompleted it makes request accounting exact:
+	// every Submit terminates in exactly one of those six counters.
+	MSHRMerged uint64
+	// SkippedCompleted counts PW-queue entries dispatched after their
+	// request had already been completed elsewhere (the concurrent-probe
+	// race): they vacate the queue without burning a walker.
+	SkippedCompleted uint64
 
 	// Breakdown decomposes per-walk latency (Fig 3).
 	Breakdown stats.BreakdownAccumulator
@@ -111,6 +121,8 @@ type iommuMetrics struct {
 	pushDemand  *metrics.Counter
 	pushPref    *metrics.Counter
 	tlbBlocked  *metrics.Counter
+	tlbMerged   *metrics.Counter
+	skipped     *metrics.Counter
 	queueDepth  *metrics.Gauge
 	queuePeak   *metrics.Gauge
 	walkersBusy *metrics.Gauge
@@ -139,6 +151,8 @@ func (io *IOMMU) AttachMetrics(reg *metrics.Registry) {
 		pushDemand:  reg.Counter("iommu.pushes.demand"),
 		pushPref:    reg.Counter("iommu.pushes.prefetch"),
 		tlbBlocked:  reg.Counter("iommu.tlb.mshr_blocked"),
+		tlbMerged:   reg.Counter("iommu.tlb.mshr_merged"),
+		skipped:     reg.Counter("iommu.skipped_completed"),
 		queueDepth:  reg.Gauge("iommu.queue.depth"),
 		queuePeak:   reg.Gauge("iommu.queue.peak"),
 		walkersBusy: reg.Gauge("iommu.walkers.busy"),
@@ -172,8 +186,14 @@ func (io *IOMMU) Coord() geom.Coord { return io.coord }
 // RT exposes the redirection table (nil if disabled), for stats.
 func (io *IOMMU) RT() *RedirectTable { return io.rt }
 
-// QueueDepth returns the combined admission + PW-queue + in-service depth.
-func (io *IOMMU) QueueDepth() int { return len(io.admission) + len(io.pwq) + io.busy }
+// QueueDepth returns the combined admission + PW-queue depth: requests
+// waiting for a walker, excluding the ones already in service (those are
+// WalkersBusy). This is the one definition of "combined queue depth" shared
+// by Stats.PeakQueue, the iommu.queue.depth gauge, the Fig 4 QueueSeries and
+// the attribution sampler's iommu.queue_depth series — it used to include
+// in-service walks while the recorded series did not, so the sampled series
+// disagreed with every other depth signal.
+func (io *IOMMU) QueueDepth() int { return len(io.admission) + len(io.pwq) }
 
 // WalkersBusy returns the number of walkers currently in service — a
 // sampler probe for walker-occupancy time series.
@@ -194,8 +214,10 @@ func (io *IOMMU) traceQueue(j *job, until sim.VTime) {
 	}
 }
 
+// noteQueue records the combined waiting depth (QueueDepth's definition)
+// into Stats.PeakQueue, the Fig 4 series and the attached gauges.
 func (io *IOMMU) noteQueue() {
-	d := len(io.admission) + len(io.pwq)
+	d := io.QueueDepth()
 	if d > io.Stats.PeakQueue {
 		io.Stats.PeakQueue = d
 	}
@@ -275,6 +297,13 @@ func (io *IOMMU) tryTLB(j *job, k tlb.Key) {
 		// The walk's completion fills the TLB and drains the MSHR rather
 		// than responding directly.
 		io.enqueue(j)
+		return
+	}
+	// Coalesced into an outstanding register: the request completes with
+	// that register's walk, never enqueueing itself.
+	io.Stats.MSHRMerged++
+	if io.m != nil {
+		io.m.tlbMerged.Inc()
 	}
 }
 
@@ -298,7 +327,16 @@ func (io *IOMMU) dispatch() {
 		// concurrent-probe race) must not burn a walker. In the IOMMU-TLB
 		// variant the walk serves the whole MSHR register (merged waiters
 		// included), not just this request, so it must proceed regardless.
+		// The job still spent real cycles queued: emit its residency spans
+		// (they postdate the request's completion — the attribution ledger
+		// counts them as late rather than stitching them) and account for it,
+		// or the queue time silently vanishes from traces and conservation.
 		if io.iotlb == nil && j.req.Completed() {
+			io.Stats.SkippedCompleted++
+			if io.m != nil {
+				io.m.skipped.Inc()
+			}
+			io.traceQueue(j, io.eng.Now())
 			continue
 		}
 		// The redirection table sits in front of the walkers (Fig 12): a
@@ -437,24 +475,32 @@ func (io *IOMMU) revisit(k tlb.Key, pte vm.PTE, found bool) {
 	if !found {
 		return
 	}
+	var served []*job
 	out := io.pwq[:0]
 	for _, j := range io.pwq {
 		if j.req.PID == k.PID && j.req.VPN == k.VPN {
-			io.Stats.Revisits++
-			if io.m != nil {
-				io.m.revisits.Inc()
-			}
-			io.traceQueue(j, io.eng.Now())
-			if io.iotlb != nil {
-				io.completeTLBMSHR(tlb.Key{PID: j.req.PID, VPN: j.req.VPN}, pte, true)
-			} else {
-				io.respond(j.req, xlat.Result{PTE: pte, Source: xlat.SourceIOMMU})
-			}
+			served = append(served, j)
 			continue
 		}
 		out = append(out, j)
 	}
 	io.pwq = out
+	// Serve matches only after the queue is compacted: completing an
+	// IOMMU-TLB register drains tlbWait, and a drained arrival may
+	// re-enqueue into the PW-queue — appending into io.pwq mid-scan would
+	// be clobbered by the compaction and strand that request.
+	for _, j := range served {
+		io.Stats.Revisits++
+		if io.m != nil {
+			io.m.revisits.Inc()
+		}
+		io.traceQueue(j, io.eng.Now())
+		if io.iotlb != nil {
+			io.completeTLBMSHR(tlb.Key{PID: j.req.PID, VPN: j.req.VPN}, pte, true)
+		} else {
+			io.respond(j.req, xlat.Result{PTE: pte, Source: xlat.SourceIOMMU})
+		}
+	}
 }
 
 // completeTLBMSHR resolves an IOMMU-TLB miss register, then drains blocked

@@ -9,6 +9,7 @@ import (
 	"hdpat/internal/sim"
 	"hdpat/internal/stats"
 	"hdpat/internal/tlb"
+	"hdpat/internal/trace"
 	"hdpat/internal/vm"
 	"hdpat/internal/xlat"
 )
@@ -91,8 +92,12 @@ func TestAdmissionStageWhenPWQueueFull(t *testing.T) {
 	for v := vm.VPN(1); v <= 10; v++ {
 		h.io.Submit(h.request(v, func(xlat.Result) {}), false)
 	}
-	if h.io.QueueDepth() != 10 {
-		t.Fatalf("queue depth = %d, want 10", h.io.QueueDepth())
+	// One request is already in service (WalkersBusy), the other nine wait
+	// across the PW-queue and the admission stage; QueueDepth counts only
+	// the waiters, matching Stats.PeakQueue and the sampled series.
+	if h.io.QueueDepth() != 9 || h.io.WalkersBusy() != 1 {
+		t.Fatalf("queue depth = %d, walkers busy = %d, want 9 and 1",
+			h.io.QueueDepth(), h.io.WalkersBusy())
 	}
 	h.eng.Run()
 	pre, _, _ := h.io.Stats.Breakdown.Means()
@@ -407,4 +412,177 @@ func TestRevisitLimitedToPWQueue(t *testing.T) {
 	if h.io.Stats.Revisits == 0 {
 		t.Error("no revisits at all")
 	}
+}
+
+// sinkRecorder captures typed spans for assertions on the tracing seam.
+type sinkRecorder struct {
+	queues []recordedQueue
+	walks  int
+}
+
+type recordedQueue struct {
+	stage string
+	req   uint64
+	start uint64
+	end   uint64
+}
+
+func (s *sinkRecorder) OnRequest(start, end uint64, req uint64, source, gpm int) {}
+func (s *sinkRecorder) OnQueue(stage string, start, end uint64, req uint64) {
+	s.queues = append(s.queues, recordedQueue{stage, req, start, end})
+}
+func (s *sinkRecorder) OnWalk(start, end uint64, req, vpn uint64)                  { s.walks++ }
+func (s *sinkRecorder) OnHop(start, end uint64, fx, fy, tx, ty, size int)          {}
+func (s *sinkRecorder) OnMigration(start, end uint64, vpn uint64, from, to int)    {}
+
+// checkConservation asserts the request accounting law: every Submit
+// terminates in exactly one of the six terminal counters.
+func checkConservation(t *testing.T, io *IOMMU) {
+	t.Helper()
+	s := io.Stats
+	terminal := s.TLBHits + s.MSHRMerged + s.Walks + s.Revisits + s.RTRedirects + s.SkippedCompleted
+	if s.Requests != terminal {
+		t.Errorf("conservation violated: Requests=%d, terminal sum=%d (tlb=%d merged=%d walks=%d revisits=%d redirects=%d skipped=%d)",
+			s.Requests, terminal, s.TLBHits, s.MSHRMerged, s.Walks, s.Revisits, s.RTRedirects, s.SkippedCompleted)
+	}
+}
+
+// The dispatch skip path must emit the skipped job's queue-residency spans
+// and count it, or its queue time vanishes from traces and the conservation
+// law breaks.
+func TestDispatchSkipEmitsQueueSpans(t *testing.T) {
+	cfg := config.DefaultIOMMU()
+	cfg.Walkers = 1
+	h := newHarness(t, cfg, 100)
+	rec := &sinkRecorder{}
+	h.io.Trace = trace.Attach(nil, rec)
+	var reqs []*xlat.Request
+	for v := vm.VPN(1); v <= 3; v++ {
+		r := h.request(v, func(xlat.Result) {})
+		reqs = append(reqs, r)
+		h.io.Submit(r, false)
+	}
+	// Complete the last queued request out of band (peer probe win).
+	reqs[2].Complete(xlat.Result{Source: xlat.SourcePeer})
+	h.eng.Run()
+	if h.io.Stats.SkippedCompleted != 1 {
+		t.Fatalf("SkippedCompleted = %d, want 1", h.io.Stats.SkippedCompleted)
+	}
+	found := false
+	for _, q := range rec.queues {
+		if q.req == reqs[2].ID && q.stage == "iommu.pwq" {
+			found = true
+			if q.end <= q.start {
+				t.Errorf("skipped request's pwq span [%d,%d] is empty", q.start, q.end)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no iommu.pwq span for the skipped request %d; spans: %+v", reqs[2].ID, rec.queues)
+	}
+	checkConservation(t, h.io)
+}
+
+// MSHR merges must be counted so request accounting stays exact: coalesced
+// arrivals terminate in MSHRMerged, primaries in Walks.
+func TestIOMMUTLBMergeAccounting(t *testing.T) {
+	cfg := config.HDPATIOMMU()
+	cfg.UseTLB = true
+	cfg.PrefetchDegree = 1
+	h := newHarness(t, cfg, 100)
+	done := 0
+	for i := 0; i < 4; i++ {
+		h.io.Submit(h.request(31, func(xlat.Result) { done++ }), false)
+	}
+	h.eng.Run()
+	if done != 4 {
+		t.Fatalf("completions = %d", done)
+	}
+	if h.io.Stats.Walks != 1 || h.io.Stats.MSHRMerged != 3 {
+		t.Errorf("walks=%d merged=%d, want 1 and 3", h.io.Stats.Walks, h.io.Stats.MSHRMerged)
+	}
+	checkConservation(t, h.io)
+}
+
+// Blocked arrivals (full MSHRs) must drain as walks complete registers, with
+// every request terminating in exactly one counter: blocking itself is not
+// terminal, so MSHRBlocked does not appear in the conservation sum.
+func TestTLBWaitDrainAccounting(t *testing.T) {
+	cfg := config.HDPATIOMMU()
+	cfg.UseTLB = true
+	cfg.TLBMSHRs = 2
+	cfg.Walkers = 1
+	cfg.PrefetchDegree = 1
+	h := newHarness(t, cfg, 100)
+	done := 0
+	// VPNs 1,2,3,1,2: two primaries fill both registers, VPN 3 blocks in
+	// tlbWait, the trailing duplicates merge into the live registers.
+	for _, v := range []vm.VPN{1, 2, 3, 1, 2} {
+		h.io.Submit(h.request(v, func(xlat.Result) { done++ }), false)
+	}
+	h.eng.Run()
+	if done != 5 {
+		t.Fatalf("completions = %d, want 5 (blocked arrival stranded?)", done)
+	}
+	if len(h.io.tlbWait) != 0 {
+		t.Errorf("tlbWait not drained: %d waiters left", len(h.io.tlbWait))
+	}
+	if h.io.Stats.MSHRBlocked == 0 {
+		t.Error("expected at least one MSHR-blocked arrival")
+	}
+	if h.io.Stats.MSHRMerged != 2 || h.io.Stats.Walks != 3 {
+		t.Errorf("merged=%d walks=%d, want 2 and 3", h.io.Stats.MSHRMerged, h.io.Stats.Walks)
+	}
+	if h.io.ioMSHR.Used() != 0 {
+		t.Errorf("MSHR registers leaked: %d still used", h.io.ioMSHR.Used())
+	}
+	checkConservation(t, h.io)
+}
+
+// revisit → completeTLBMSHR interplay: a revisited PW-queue job's register
+// completion must fire the register's callbacks AND drain tlbWait while it is
+// non-empty, freeing blocked arrivals even though no walker finished.
+func TestRevisitCompletesMSHRAndDrainsTLBWait(t *testing.T) {
+	cfg := config.HDPATIOMMU()
+	cfg.UseTLB = true
+	cfg.TLBMSHRs = 2
+	cfg.Walkers = 1
+	cfg.PrefetchDegree = 1
+	cfg.Revisit = true
+	h := newHarness(t, cfg, 100)
+	done := 0
+	// VPN 9 occupies the walker; VPN 5 holds the second register and waits in
+	// the PW-queue; VPN 7 blocks on full MSHRs.
+	for _, v := range []vm.VPN{9, 5, 7} {
+		h.io.Submit(h.request(v, func(xlat.Result) { done++ }), false)
+	}
+	h.eng.RunUntil(10) // past TLB latency, before the 500-cycle walk completes
+	if h.io.WalkersBusy() != 1 || len(h.io.pwq) != 1 || len(h.io.tlbWait) != 1 {
+		t.Fatalf("setup: busy=%d pwq=%d tlbWait=%d, want 1/1/1",
+			h.io.WalkersBusy(), len(h.io.pwq), len(h.io.tlbWait))
+	}
+	// A same-key walk completes elsewhere: revisit the PW-queue for VPN 5.
+	pte, _, ok := h.io.global.Lookup(5)
+	if !ok {
+		t.Fatal("page 5 unmapped")
+	}
+	h.io.revisit(tlb.Key{VPN: 5}, pte, true)
+	if h.io.Stats.Revisits != 1 {
+		t.Fatalf("revisits = %d, want 1", h.io.Stats.Revisits)
+	}
+	if len(h.io.pwq) == 0 {
+		t.Fatal("revisit emptied the PW-queue: the drained tlbWait arrival should have re-enqueued")
+	}
+	if len(h.io.tlbWait) != 0 {
+		t.Fatalf("tlbWait not drained by the revisit's register completion: %d left", len(h.io.tlbWait))
+	}
+	h.eng.Run()
+	if done != 3 {
+		t.Fatalf("completions = %d, want 3", done)
+	}
+	// VPN 5 never walked: its register was completed by the revisit.
+	if h.io.Stats.Walks != 2 {
+		t.Errorf("walks = %d, want 2 (VPNs 9 and 7 only)", h.io.Stats.Walks)
+	}
+	checkConservation(t, h.io)
 }

@@ -176,3 +176,56 @@ func TestMeshDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// Many sub-cycle messages must accumulate fractional serialisation debt into
+// whole busy cycles: total link occupancy tracks total bytes / bandwidth with
+// at most one cycle of residual debt outstanding, never losing bandwidth.
+func TestFractionalDebtAccumulatesWholeBusyCycles(t *testing.T) {
+	eng := sim.NewEngine()
+	layout := geom.NewMesh(3, 3)
+	m := New(eng, layout, Config{HopLatency: 10, BytesPerCycle: 64})
+	src, dst := geom.XY(0, 1), geom.XY(1, 1)
+	// 64 16-byte messages: each is a quarter cycle of serialisation, so every
+	// fourth send must charge one whole cycle to the link.
+	const n, size = 64, 16
+	delivered := 0
+	for i := 0; i < n; i++ {
+		m.Send(src, dst, size, func() { delivered++ })
+	}
+	eng.Run()
+	if delivered != n {
+		t.Fatalf("delivered = %d, want %d", delivered, n)
+	}
+	wantBusy := sim.VTime(n * size / 64) // 16 cycles, exactly divisible
+	if got := m.LinkUtilization(); got != wantBusy {
+		t.Errorf("busy cycles = %d, want %d (fractional debt lost)", got, wantBusy)
+	}
+}
+
+// Fractional debt must survive across temporally spread sends, not just
+// back-to-back bursts: residual debt below one cycle is the only bandwidth
+// ever outstanding.
+func TestFractionalDebtSpreadOverTime(t *testing.T) {
+	eng := sim.NewEngine()
+	layout := geom.NewMesh(3, 3)
+	m := New(eng, layout, Config{HopLatency: 10, BytesPerCycle: 64})
+	src, dst := geom.XY(0, 1), geom.XY(1, 1)
+	const n, size = 31, 48 // 0.75 cycles each, deliberately not divisible
+	for i := 0; i < n; i++ {
+		at := sim.VTime(i * 100)
+		eng.At(at, func() { m.Send(src, dst, size, func() {}) })
+	}
+	eng.Run()
+	totalBytes := float64(n * size)
+	exact := totalBytes / 64 // 23.25 cycles
+	got := float64(m.LinkUtilization())
+	if got < exact-1 || got > exact {
+		t.Errorf("busy cycles = %v, want within (%v-1, %v]", got, exact, exact)
+	}
+	// The accumulated whole cycles plus the residual debt equal the exact
+	// serialisation demand: no bandwidth created or destroyed.
+	l := m.links[m.layout.NodeID(src)][dirEast]
+	if sum := got + l.debt; sum != exact {
+		t.Errorf("busy+debt = %v, want exactly %v", sum, exact)
+	}
+}

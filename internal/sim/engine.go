@@ -120,6 +120,19 @@ func (e *Engine) fireSamples(upto VTime) {
 	}
 }
 
+// FlushSamples fires any sampler boundaries at or before upto that have not
+// fired yet, in boundary order. RunUntil fires boundaries only up to executed
+// events (and, when the limit cuts a run with events still pending, up to the
+// limit), so a run that settles mid-window leaves its trailing time-series
+// windows unsampled; callers close them by flushing up to the run's logical
+// end time. A no-op without an attached sampler; upto must be finite.
+func (e *Engine) FlushSamples(upto VTime) {
+	if e.sampleFn == nil || upto == Infinity {
+		return
+	}
+	e.fireSamples(upto)
+}
+
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine { return &Engine{} }
 
@@ -163,10 +176,19 @@ func (e *Engine) Run() {
 // RunUntil executes events with time <= limit. Events scheduled exactly at
 // limit do run. On return the engine clock is the time of the last executed
 // event (or unchanged if none ran).
+//
+// When the limit cuts the run — events remain beyond limit — the run has
+// logically advanced to limit, so any sampler boundaries in (last event,
+// limit] fire before returning; they would otherwise be lost, silently
+// truncating time series. A drained queue fires nothing extra (the run ended
+// at the last event); use FlushSamples to close a trailing partial window.
 func (e *Engine) RunUntil(limit VTime) {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
 		if e.events.peek().time > limit {
+			if e.sampleFn != nil && limit != Infinity {
+				e.fireSamples(limit)
+			}
 			return
 		}
 		ev := e.events.popEvent()

@@ -457,3 +457,85 @@ func TestEngineMetricsObserveOnly(t *testing.T) {
 		t.Errorf("heap_depth after drain = %d", s.Gauge("sim.heap_depth"))
 	}
 }
+
+// TestEngineSamplerLimitCutFiresTrailingBoundaries is the regression test for
+// the sampler boundary gap: when RunUntil's limit cuts the run with events
+// still pending, boundaries between the last executed event and the limit
+// must fire — they used to be dropped, silently truncating time series.
+func TestEngineSamplerLimitCutFiresTrailingBoundaries(t *testing.T) {
+	e := NewEngine()
+	var samples []VTime
+	e.AttachSampler(10, func(at VTime) { samples = append(samples, at) })
+	e.At(12, func() {})
+	e.At(95, func() {})
+	e.RunUntil(47) // runs t=12, leaves t=95 pending
+	want := []VTime{10, 20, 30, 40}
+	if len(samples) != len(want) {
+		t.Fatalf("samples = %v, want %v", samples, want)
+	}
+	for i := range want {
+		if samples[i] != want[i] {
+			t.Fatalf("samples = %v, want %v", samples, want)
+		}
+	}
+	// Resuming past the limit must not double-fire: boundaries 50..90 fire
+	// before the t=95 event, exactly once each.
+	e.RunUntil(Infinity)
+	if len(samples) != 9 || samples[4] != 50 || samples[8] != 90 {
+		t.Fatalf("samples after resume = %v", samples)
+	}
+}
+
+// TestEngineSamplerLimitCutMatchesSliced: a single RunUntil(limit) and the
+// same run sliced into smaller RunUntil calls fire identical boundary sets —
+// the property the wafer's cancellation slicing depends on.
+func TestEngineSamplerLimitCutMatchesSliced(t *testing.T) {
+	build := func() *Engine {
+		e := NewEngine()
+		for _, d := range []VTime{3, 18, 44, 90} {
+			e.At(d, func() {})
+		}
+		return e
+	}
+	var whole, sliced []VTime
+	ew := build()
+	ew.AttachSampler(10, func(at VTime) { whole = append(whole, at) })
+	ew.RunUntil(65)
+	es := build()
+	es.AttachSampler(10, func(at VTime) { sliced = append(sliced, at) })
+	for lim := VTime(5); lim <= 65; lim += 5 {
+		es.RunUntil(lim)
+	}
+	if len(whole) != len(sliced) {
+		t.Fatalf("whole %v vs sliced %v", whole, sliced)
+	}
+	for i := range whole {
+		if whole[i] != sliced[i] {
+			t.Fatalf("whole %v vs sliced %v", whole, sliced)
+		}
+	}
+}
+
+// TestEngineFlushSamples: a drained run leaves its trailing partial window
+// open; FlushSamples closes it without firing anything twice.
+func TestEngineFlushSamples(t *testing.T) {
+	e := NewEngine()
+	var samples []VTime
+	e.AttachSampler(10, func(at VTime) { samples = append(samples, at) })
+	e.At(25, func() {})
+	e.Run()
+	if len(samples) != 2 { // 10, 20 before the t=25 event
+		t.Fatalf("samples before flush = %v", samples)
+	}
+	e.FlushSamples(30) // close the [20, 30) window the run ended inside
+	if len(samples) != 3 || samples[2] != 30 {
+		t.Fatalf("samples after flush = %v", samples)
+	}
+	e.FlushSamples(30) // idempotent
+	e.FlushSamples(Infinity)
+	if len(samples) != 3 {
+		t.Fatalf("flush re-fired boundaries: %v", samples)
+	}
+	var detached Engine
+	detached.FlushSamples(100) // no sampler: no-op, no panic
+}

@@ -95,7 +95,9 @@ func New(w io.Writer, format Format) *Tracer {
 // Attach returns a tracer that forwards typed spans to sink in addition to
 // t's output stream. A nil t yields a sink-only tracer that writes nothing;
 // a nil sink returns t unchanged. The returned tracer shares t's stream and
-// pid, so it can replace t at every instrumentation site of a run.
+// pid, so it can replace t at every instrumentation site of a run. Attaching
+// to a tracer that already has a sink fans spans out to both, earlier sinks
+// first — the attribution ledger and the invariant checker compose this way.
 func Attach(t *Tracer, sink Sink) *Tracer {
 	if sink == nil {
 		return t
@@ -103,7 +105,38 @@ func Attach(t *Tracer, sink Sink) *Tracer {
 	if t == nil {
 		return &Tracer{st: &state{}, sink: sink}
 	}
+	if t.sink != nil {
+		sink = teeSink{t.sink, sink}
+	}
 	return &Tracer{st: t.st, pid: t.pid, sink: sink}
+}
+
+// teeSink fans typed spans out to two sinks in order.
+type teeSink struct{ a, b Sink }
+
+func (s teeSink) OnRequest(start, end uint64, req uint64, source, gpm int) {
+	s.a.OnRequest(start, end, req, source, gpm)
+	s.b.OnRequest(start, end, req, source, gpm)
+}
+
+func (s teeSink) OnQueue(stage string, start, end uint64, req uint64) {
+	s.a.OnQueue(stage, start, end, req)
+	s.b.OnQueue(stage, start, end, req)
+}
+
+func (s teeSink) OnWalk(start, end uint64, req, vpn uint64) {
+	s.a.OnWalk(start, end, req, vpn)
+	s.b.OnWalk(start, end, req, vpn)
+}
+
+func (s teeSink) OnHop(start, end uint64, fromX, fromY, toX, toY, size int) {
+	s.a.OnHop(start, end, fromX, fromY, toX, toY, size)
+	s.b.OnHop(start, end, fromX, fromY, toX, toY, size)
+}
+
+func (s teeSink) OnMigration(start, end uint64, vpn uint64, from, to int) {
+	s.a.OnMigration(start, end, vpn, from, to)
+	s.b.OnMigration(start, end, vpn, from, to)
 }
 
 // Run derives a child tracer for one run of a batch: same stream, events

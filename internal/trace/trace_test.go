@@ -259,3 +259,31 @@ func TestByteDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestAttachComposesSinks: attaching a second sink tees spans to both, in
+// attachment order — the wiring the attribution ledger and the invariant
+// checker share.
+func TestAttachComposesSinks(t *testing.T) {
+	var first, second recordingSink
+	tr := Attach(Attach(nil, &first), &second)
+	tr.WalkSpan(0, 10, 1, 2)
+	tr.QueueSpan("iommu.admission", 0, 5, 1)
+	tr.HopSpan(0, 32, 0, 0, 1, 0, 64)
+	tr.MigrationSpan(0, 100, 42, 1, 2)
+	tr.RequestSpan(0, 50, 1, 3, 7)
+	for name, s := range map[string]*recordingSink{"first": &first, "second": &second} {
+		if s.walks != 1 || s.queues != 1 || s.hops != 1 || s.migrations != 1 || s.requests != 1 {
+			t.Errorf("%s sink = %+v", name, s)
+		}
+	}
+	if tr.Events() != 5 {
+		t.Errorf("events = %d, want 5", tr.Events())
+	}
+	// A Run child keeps the composed sink.
+	var third recordingSink
+	child := Attach(tr.Run(3), &third)
+	child.WalkSpan(10, 20, 2, 3)
+	if first.walks != 2 || second.walks != 2 || third.walks != 1 {
+		t.Errorf("child fan-out: first=%d second=%d third=%d", first.walks, second.walks, third.walks)
+	}
+}

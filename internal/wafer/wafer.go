@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"hdpat/internal/attr"
+	"hdpat/internal/check"
 	"hdpat/internal/config"
 	"hdpat/internal/core"
 	"hdpat/internal/geom"
@@ -116,6 +117,14 @@ type Options struct {
 	// combine with Migration: in-flight completions legitimately race the
 	// table repoint.
 	Validate bool
+	// Invariants attaches the internal/check invariant checker through the
+	// observation seams (request hook, trace sink, sampler, link visitor):
+	// conservation violations come back as errors naming the invariant,
+	// request and cycle, joined onto the run error. Results are
+	// byte-identical with the checker on or off. With Migration enabled the
+	// per-translation PFN check is skipped (legitimate races); the
+	// conservation checks still run.
+	Invariants bool
 	// Migration, when non-nil, enables the page-migration extension with
 	// the given policy (see internal/migrate).
 	Migration *migrate.Config
@@ -240,7 +249,14 @@ func runEngine(ctx context.Context, eng *sim.Engine, limit sim.VTime) error {
 			return err
 		}
 		next, ok := eng.NextTime()
-		if !ok || next > limit {
+		if !ok {
+			return nil
+		}
+		if next > limit {
+			// The run logically advanced to limit even though no event at or
+			// before it remains: close out any sampler windows in
+			// (last event, limit] that the sliced RunUntil calls never saw.
+			eng.FlushSamples(limit)
 			return nil
 		}
 		slice := next + ctxCheckInterval
@@ -284,12 +300,26 @@ func RunContext(ctx context.Context, cfg config.System, opts Options) (Result, e
 	}
 	// The attribution ledger rides the tracer seam: Attach fans typed spans
 	// out to the collector (sink-only when no trace output was requested),
-	// and the resulting tracer replaces opts.Trace at every component.
+	// and the resulting tracer replaces opts.Trace at every component. The
+	// invariant checker stacks onto the same seam via the tracer's sink
+	// composition.
 	tr := opts.Trace
 	var coll *attr.Collector
 	if opts.Attribution != nil {
 		coll = attr.NewCollector(*opts.Attribution)
 		tr = trace.Attach(tr, coll)
+	}
+	var sampleWindow uint64
+	if coll != nil {
+		sampleWindow = coll.Window()
+	}
+	var chk *check.Checker
+	if opts.Invariants {
+		if sampleWindow == 0 {
+			sampleWindow = attr.DefaultWindow
+		}
+		chk = check.New(check.Options{Window: sampleWindow})
+		tr = trace.Attach(tr, chk)
 	}
 	network.Trace = tr
 
@@ -318,16 +348,32 @@ func RunContext(ctx context.Context, cfg config.System, opts Options) (Result, e
 	io.GPMCoord = func(id int) geom.Coord { return gpms[id].Coord }
 	io.Trace = tr
 	if coll != nil {
-		// Periodic sampler: queue-depth, walker-occupancy and link-busy
-		// series once per attribution window, fired between events so the
-		// heap and event order are untouched.
 		coll.Probes(io.QueueDepth, io.WalkersBusy, func(v attr.LinkVisitor) {
 			network.VisitLinks(func(c geom.Coord, dir string, busy sim.VTime) {
 				v(c.X, c.Y, dir, uint64(busy))
 			})
 		})
-		eng.AttachSampler(sim.VTime(coll.Window()), func(at sim.VTime) {
-			coll.Sample(uint64(at))
+	}
+	if chk != nil {
+		io.AddHook(chk)
+		chk.Probes(func(v check.LinkVisitor) {
+			network.VisitLinks(func(c geom.Coord, dir string, busy sim.VTime) {
+				v(c.X, c.Y, dir, uint64(busy))
+			})
+		})
+	}
+	if coll != nil || chk != nil {
+		// Periodic sampler: queue-depth, walker-occupancy and link-busy
+		// series once per window, fired between events so the heap and event
+		// order are untouched. The collector and checker share one window,
+		// so the checker audits exactly the boundaries the series record.
+		eng.AttachSampler(sim.VTime(sampleWindow), func(at sim.VTime) {
+			if coll != nil {
+				coll.Sample(uint64(at))
+			}
+			if chk != nil {
+				chk.Sample(uint64(at))
+			}
 		})
 	}
 	if reg != nil {
@@ -364,7 +410,17 @@ func RunContext(ctx context.Context, cfg config.System, opts Options) (Result, e
 	}
 	var validationErrs []string
 	if opts.Validate {
-		scheme = &checkedScheme{inner: scheme, global: placement.Global(), errs: &validationErrs}
+		scheme = &check.Scheme{
+			Inner: scheme, Global: placement.Global(),
+			Report: func(v check.Violation) { validationErrs = append(validationErrs, v.Detail) },
+		}
+	}
+	if chk != nil && opts.Migration == nil {
+		scheme = &check.Scheme{
+			Inner: scheme, Global: placement.Global(),
+			Report: chk.Record,
+			Now:    func() uint64 { return uint64(eng.Now()) },
+		}
 	}
 	var migrator *migrate.Manager
 	if opts.Migration != nil {
@@ -464,31 +520,26 @@ func RunContext(ctx context.Context, cfg config.System, opts Options) (Result, e
 		}
 		res.Breakdown = coll.Finalize(res.Scheme, res.Benchmark, uint64(res.Cycles))
 	}
-	return res, runErr
-}
-
-// checkedScheme wraps a translator, asserting that every completion carries
-// the frame number the global page table maps for the requested page.
-type checkedScheme struct {
-	inner  xlat.RemoteTranslator
-	global *vm.PageTable
-	errs   *[]string
-}
-
-func (c *checkedScheme) Name() string { return c.inner.Name() }
-
-func (c *checkedScheme) Translate(req *xlat.Request) {
-	proxy := xlat.NewRequest(req.ID, req.PID, req.VPN, req.Requester, req.Issued, func(res xlat.Result) {
-		want, _, ok := c.global.Lookup(req.VPN)
-		if !ok {
-			*c.errs = append(*c.errs, fmt.Sprintf("vpn %#x: completed but unmapped", uint64(req.VPN)))
-		} else if want.PFN != res.PTE.PFN {
-			*c.errs = append(*c.errs, fmt.Sprintf("vpn %#x: pfn %#x from %v, want %#x",
-				uint64(req.VPN), uint64(res.PTE.PFN), res.Source, uint64(want.PFN)))
+	if chk != nil {
+		var latSum uint64
+		for i := range res.GPMStats {
+			latSum += res.GPMStats[i].RemoteLatencySum
 		}
-		req.Complete(res)
-	})
-	c.inner.Translate(proxy)
+		f := check.Final{
+			Cycle:       uint64(eng.Now()),
+			Settled:     finished == numGPMs,
+			QueueDepth:  io.QueueDepth(),
+			WalkersBusy: io.WalkersBusy(),
+			IOMMU:       io.Stats,
+			NoC:         network.Stats,
+			RemoteReqs:  res.RemoteRequests(), RemoteLatencySum: latSum,
+			Breakdown: res.Breakdown,
+		}
+		if err := chk.Finish(f); err != nil {
+			runErr = errors.Join(runErr, err)
+		}
+	}
+	return res, runErr
 }
 
 func buildScheme(name string, f *core.Fabric, h config.HDPAT) (xlat.RemoteTranslator, error) {

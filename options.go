@@ -26,6 +26,7 @@ type runConfig struct {
 
 	metrics     *metrics.Registry
 	attribution bool
+	invariants  bool
 	traceW      io.Writer
 	traceFormat trace.Format
 	// tracer, when set, overrides traceW with a pre-built (batch child)
@@ -139,6 +140,24 @@ func WithMetrics(reg *metrics.Registry) Option {
 // freely with WithMetrics and WithTrace.
 func WithAttribution() Option {
 	return func(rc *runConfig) { rc.attribution = true }
+}
+
+// WithInvariants attaches the simulation invariant checker to every run of
+// the call. The checker rides the existing observation seams (request hook,
+// trace sink, periodic sampler, link visitor) and audits the simulator's
+// conservation laws: every issued request completes exactly once and is
+// never double-completed, queues and walkers are quiescent at settle, every
+// IOMMU submission terminates in exactly one outcome counter, NoC byte-hops
+// match the traffic observed on links, link occupancy never exceeds elapsed
+// time, per-request latency sums match the GPM counters, every remote
+// translation returns the globally mapped frame, and no sampler window is
+// lost. Violations come back as errors naming the invariant, request ID and
+// cycle (match with errors.Is(err, ErrInvariant)); the Result is still
+// returned alongside them. Checking only observes — results are
+// byte-identical with it on or off — and composes freely with WithMetrics,
+// WithAttribution and WithTrace. See docs/invariants.md for the catalogue.
+func WithInvariants() Option {
+	return func(rc *runConfig) { rc.invariants = true }
 }
 
 // WithTrace streams cycle-domain spans (IOMMU walks and queueing, NoC link
