@@ -4,10 +4,10 @@
 # data races.
 
 GO ?= go
-BENCH ?= BenchmarkBatch3x3
+BENCH ?= BenchmarkBatch3x3|BenchmarkCompare
 BENCHTIME ?= 3x
 
-.PHONY: build test race vet check verify-invariants bench bench-check bench-all report
+.PHONY: build test race vet staticcheck check verify-invariants bench bench-check bench-all report
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,19 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: vet race
+# Static analysis beyond vet. The version is pinned so local runs and CI
+# agree on the finding set; offline sandboxes without the binary skip with a
+# notice rather than failing the whole gate (CI always installs it, against
+# the shared Go module cache).
+STATICCHECK_VERSION ?= 2025.1
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not found; skipping (install: go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+
+check: vet staticcheck race
 
 # Invariant conformance gate: run every scheme x benchmark pair — at the
 # Table I configuration and across randomized small wafers — under the
@@ -45,15 +57,23 @@ bench:
 		| tee results/bench.txt | /tmp/benchjson > results/bench.json
 	@echo "wrote results/bench.txt and results/bench.json"
 
-# Bench-regression gate: rerun the hot-path benchmarks and fail when any
-# ns/op regressed more than BENCH_TOLERANCE (fraction) against the committed
-# baseline results/bench.json. CI runs this on every push.
+# Bench-regression gate: rerun the hot-path benchmarks and compare against
+# the committed baseline results/bench.json on three metrics. Wall time
+# (ns/op) and the derived events/sec throughput get wide slack because
+# shared runners are noisy; allocs/op is nearly deterministic, so its
+# tolerance only absorbs sync.Pool and map-growth jitter — one real new
+# allocation per op on the Compare path trips it. CI runs this on every
+# push.
 BENCH_TOLERANCE ?= 0.15
+ALLOC_TOLERANCE ?= 0.10
+EVENTS_TOLERANCE ?= 0.15
 bench-check:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -benchmem \
 		| /tmp/benchjson > /tmp/bench-new.json
-	/tmp/benchjson -compare -tolerance $(BENCH_TOLERANCE) results/bench.json /tmp/bench-new.json
+	/tmp/benchjson -compare -tolerance $(BENCH_TOLERANCE) \
+		-alloc-tolerance $(ALLOC_TOLERANCE) -events-tolerance $(EVENTS_TOLERANCE) \
+		results/bench.json /tmp/bench-new.json
 
 # One iteration of every paper-artifact benchmark plus the batch-engine
 # serial/parallel comparison.

@@ -1,0 +1,45 @@
+// Hot-path benchmarks: allocation and event-throughput measurements of the
+// Compare path the experiments harness leans on. Unlike the paper-artifact
+// benchmarks in bench_test.go these report allocs/op and events/sec, the
+// two regression signals the bench-gate compares against results/bench.json
+// (see docs/performance.md for the profiling workflow).
+package hdpat_test
+
+import (
+	"testing"
+
+	"hdpat"
+)
+
+// runCompareHot executes one baseline-vs-scheme comparison per iteration on
+// the Table I wafer and reports kernel throughput alongside the standard
+// allocation metrics.
+func runCompareHot(b *testing.B, scheme, bench string) {
+	b.Helper()
+	cfg := hdpat.DefaultConfig()
+	b.ReportAllocs()
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cmp, err := hdpat.Compare(cfg, scheme, bench,
+			hdpat.WithOpsBudget(32), hdpat.WithSeed(3), hdpat.WithWorkers(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += cmp.Baseline.Events + cmp.Result.Events
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
+	}
+}
+
+// BenchmarkCompareHDPAT is the canonical hot path: the full scheme against
+// the baseline, exercising GPM translation, the IOMMU walk/redirect/revisit
+// machinery, concentric probes and every NoC hop in between.
+func BenchmarkCompareHDPAT(b *testing.B) { runCompareHot(b, "hdpat", "PR") }
+
+// BenchmarkCompareBaseline isolates the naive path: every remote
+// translation walks at the IOMMU, so the kernel and request pooling
+// dominate; scheme-side probe traffic is absent.
+func BenchmarkCompareBaseline(b *testing.B) { runCompareHot(b, "baseline", "SPMV") }

@@ -13,10 +13,21 @@
 // failures stay visible in pipelines.
 //
 // -compare diffs two reports and exits 1 when any benchmark present in both
-// regressed its ns/op by more than the tolerance — the CI bench-regression
-// gate (`make bench-check`). Benchmarks appearing on only one side are
-// reported but never fail the gate, so adding or renaming a benchmark does
-// not require regenerating the baseline in the same change.
+// regressed beyond tolerance — the CI bench-regression gate
+// (`make bench-check`). Three metrics are gated, each with its own
+// tolerance:
+//
+//   - ns/op (-tolerance, default 0.15): wall time is noisy on shared
+//     runners, so the slack is wide.
+//   - allocs/op (-alloc-tolerance, default 0.10): allocation counts are
+//     nearly deterministic; the slack only absorbs sync.Pool and map-growth
+//     jitter, so a real new allocation per op trips the gate.
+//   - events/sec (-events-tolerance, default 0.15): the kernel-throughput
+//     custom metric; derived from wall time, so it inherits its noise.
+//
+// Benchmarks appearing on only one side are reported but never fail the
+// gate, so adding or renaming a benchmark does not require regenerating the
+// baseline in the same change.
 package main
 
 import (
@@ -54,23 +65,43 @@ type Report struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
+// tolerances holds the per-metric slack -compare allows before failing.
+type tolerances struct {
+	NsPerOp   float64 // fractional ns/op increase allowed
+	AllocsOp  float64 // fractional allocs/op increase allowed
+	EventsSec float64 // fractional events/sec decrease allowed
+}
+
 func main() {
 	compare := flag.Bool("compare", false, "compare two bench.json files: -compare old.json new.json")
-	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional ns/op regression before -compare fails")
+	var tol tolerances
+	flag.Float64Var(&tol.NsPerOp, "tolerance", 0.15, "allowed fractional ns/op regression before -compare fails")
+	flag.Float64Var(&tol.AllocsOp, "alloc-tolerance", 0.10, "allowed fractional allocs/op regression before -compare fails")
+	flag.Float64Var(&tol.EventsSec, "events-tolerance", 0.15, "allowed fractional events/sec decrease before -compare fails")
 	flag.Parse()
 	if *compare {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-tolerance F] old.json new.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-tolerance F] [-alloc-tolerance F] [-events-tolerance F] old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(compareReports(flag.Arg(0), flag.Arg(1), *tolerance))
+		os.Exit(compareReports(flag.Arg(0), flag.Arg(1), tol))
 	}
 	convert()
 }
 
+// gate describes one gated metric: its unit, its slack, and whether an
+// increase (ns/op, allocs/op) or a decrease (events/sec) counts as a
+// regression.
+type gate struct {
+	unit      string
+	tolerance float64
+	higherBad bool
+}
+
 // compareReports diffs new against old and returns the process exit code:
-// 0 when every shared benchmark is within tolerance, 1 on regression.
-func compareReports(oldPath, newPath string, tolerance float64) int {
+// 0 when every shared benchmark is within tolerance on every gated metric,
+// 1 on regression.
+func compareReports(oldPath, newPath string, tol tolerances) int {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -81,34 +112,50 @@ func compareReports(oldPath, newPath string, tolerance float64) int {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 2
 	}
-	oldNs := nsPerOp(oldRep)
-	newNs := nsPerOp(newRep)
-	failed := false
-	for _, b := range newRep.Benchmarks {
-		nv, ok := newNs[b.Name]
-		if !ok {
-			continue
-		}
-		ov, ok := oldNs[b.Name]
-		if !ok {
-			fmt.Printf("%-40s %12.0f ns/op  (new benchmark, not gated)\n", b.Name, nv)
-			continue
-		}
-		delta := (nv - ov) / ov
-		status := "ok"
-		if delta > tolerance {
-			status = "REGRESSION"
-			failed = true
-		}
-		fmt.Printf("%-40s %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n", b.Name, ov, nv, delta*100, status)
+	gates := []gate{
+		{unit: "ns/op", tolerance: tol.NsPerOp, higherBad: true},
+		{unit: "allocs/op", tolerance: tol.AllocsOp, higherBad: true},
+		{unit: "events/sec", tolerance: tol.EventsSec, higherBad: false},
 	}
-	for name, ov := range oldNs {
-		if _, ok := newNs[name]; !ok {
-			fmt.Printf("%-40s %12.0f ns/op  (removed, not gated)\n", name, ov)
+	var regressed []string
+	for _, g := range gates {
+		oldVals := metricIndex(oldRep, g.unit)
+		newVals := metricIndex(newRep, g.unit)
+		for _, b := range newRep.Benchmarks {
+			nv, ok := newVals[b.Name]
+			if !ok {
+				continue
+			}
+			ov, ok := oldVals[b.Name]
+			if !ok {
+				fmt.Printf("%-40s %14.0f %-10s (new benchmark, not gated)\n", b.Name, nv, g.unit)
+				continue
+			}
+			var delta float64
+			switch {
+			case ov != 0:
+				delta = (nv - ov) / ov
+				if !g.higherBad {
+					delta = -delta
+				}
+			case nv != 0:
+				delta = 1 // from zero to something: treat as 100% worse
+			}
+			status := "ok"
+			if delta > g.tolerance {
+				status = "REGRESSION"
+				regressed = append(regressed, g.unit)
+			}
+			fmt.Printf("%-40s %14.0f -> %14.0f %-10s %+7.1f%%  %s\n", b.Name, ov, nv, g.unit, delta*100, status)
+		}
+		for name, ov := range oldVals {
+			if _, ok := newVals[name]; !ok {
+				fmt.Printf("%-40s %14.0f %-10s (removed, not gated)\n", name, ov, g.unit)
+			}
 		}
 	}
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %.0f%% tolerance\n", tolerance*100)
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: regression beyond tolerance in %v\n", regressed)
 		return 1
 	}
 	return 0
@@ -126,13 +173,13 @@ func loadReport(path string) (Report, error) {
 	return rep, nil
 }
 
-// nsPerOp indexes a report's ns/op metric by benchmark name. Duplicate
-// names (e.g. -cpu sweeps) keep the last value.
-func nsPerOp(rep Report) map[string]float64 {
+// metricIndex indexes one metric unit of a report by benchmark name.
+// Duplicate names (e.g. -cpu sweeps) keep the last value.
+func metricIndex(rep Report, unit string) map[string]float64 {
 	out := make(map[string]float64, len(rep.Benchmarks))
 	for _, b := range rep.Benchmarks {
 		for _, m := range b.Metrics {
-			if m.Unit == "ns/op" {
+			if m.Unit == unit {
 				out[b.Name] = m.Value
 			}
 		}

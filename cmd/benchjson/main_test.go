@@ -15,6 +15,11 @@ func writeReport(t *testing.T, name string, body string) string {
 	return path
 }
 
+// defaultTol mirrors the flag defaults.
+func defaultTol() tolerances {
+	return tolerances{NsPerOp: 0.15, AllocsOp: 0.10, EventsSec: 0.15}
+}
+
 const oldJSON = `{"benchmarks":[
   {"name":"BenchmarkBatch3x3/serial","iterations":3,"metrics":[{"value":1000,"unit":"ns/op"},{"value":64,"unit":"B/op"}]},
   {"name":"BenchmarkBatch3x3/parallel","iterations":3,"metrics":[{"value":400,"unit":"ns/op"}]},
@@ -28,7 +33,7 @@ func TestCompareWithinTolerance(t *testing.T) {
 	  {"name":"BenchmarkNew","iterations":1,"metrics":[{"value":5,"unit":"ns/op"}]}
 	]}`
 	code := compareReports(writeReport(t, "old.json", oldJSON),
-		writeReport(t, "new.json", newJSON), 0.15)
+		writeReport(t, "new.json", newJSON), defaultTol())
 	if code != 0 {
 		t.Errorf("10%% slowdown under 15%% tolerance: exit %d, want 0", code)
 	}
@@ -39,34 +44,82 @@ func TestCompareRegressionFails(t *testing.T) {
 	  {"name":"BenchmarkBatch3x3/serial","iterations":3,"metrics":[{"value":1200,"unit":"ns/op"}]}
 	]}`
 	code := compareReports(writeReport(t, "old.json", oldJSON),
-		writeReport(t, "new.json", newJSON), 0.15)
+		writeReport(t, "new.json", newJSON), defaultTol())
 	if code != 1 {
 		t.Errorf("20%% slowdown over 15%% tolerance: exit %d, want 1", code)
 	}
 	// The same delta passes when the tolerance is raised.
+	tol := defaultTol()
+	tol.NsPerOp = 0.25
 	if code := compareReports(writeReport(t, "old2.json", oldJSON),
-		writeReport(t, "new2.json", newJSON), 0.25); code != 0 {
+		writeReport(t, "new2.json", newJSON), tol); code != 0 {
 		t.Errorf("20%% slowdown under 25%% tolerance: exit %d, want 0", code)
+	}
+}
+
+func TestCompareAllocRegressionFails(t *testing.T) {
+	old := `{"benchmarks":[
+	  {"name":"BenchmarkCompare","iterations":3,"metrics":[{"value":1000,"unit":"ns/op"},{"value":1000,"unit":"allocs/op"}]}
+	]}`
+	// Wall time fine, allocations up 20%: the alloc gate must fail alone.
+	next := `{"benchmarks":[
+	  {"name":"BenchmarkCompare","iterations":3,"metrics":[{"value":1000,"unit":"ns/op"},{"value":1200,"unit":"allocs/op"}]}
+	]}`
+	code := compareReports(writeReport(t, "old.json", old),
+		writeReport(t, "new.json", next), defaultTol())
+	if code != 1 {
+		t.Errorf("20%% alloc growth over 10%% tolerance: exit %d, want 1", code)
+	}
+	within := `{"benchmarks":[
+	  {"name":"BenchmarkCompare","iterations":3,"metrics":[{"value":1000,"unit":"ns/op"},{"value":1050,"unit":"allocs/op"}]}
+	]}`
+	if code := compareReports(writeReport(t, "old2.json", old),
+		writeReport(t, "new2.json", within), defaultTol()); code != 0 {
+		t.Errorf("5%% alloc growth under 10%% tolerance: exit %d, want 0", code)
+	}
+}
+
+func TestCompareEventsThroughputGate(t *testing.T) {
+	old := `{"benchmarks":[
+	  {"name":"BenchmarkCompare","iterations":3,"metrics":[{"value":1000,"unit":"ns/op"},{"value":1000000,"unit":"events/sec"}]}
+	]}`
+	// events/sec regresses downward: a 30% drop fails, a 30% gain passes.
+	drop := `{"benchmarks":[
+	  {"name":"BenchmarkCompare","iterations":3,"metrics":[{"value":1000,"unit":"ns/op"},{"value":700000,"unit":"events/sec"}]}
+	]}`
+	if code := compareReports(writeReport(t, "old.json", old),
+		writeReport(t, "new.json", drop), defaultTol()); code != 1 {
+		t.Errorf("30%% throughput drop over 15%% tolerance: exit %d, want 1", code)
+	}
+	gain := `{"benchmarks":[
+	  {"name":"BenchmarkCompare","iterations":3,"metrics":[{"value":1000,"unit":"ns/op"},{"value":1300000,"unit":"events/sec"}]}
+	]}`
+	if code := compareReports(writeReport(t, "old2.json", old),
+		writeReport(t, "new2.json", gain), defaultTol()); code != 0 {
+		t.Errorf("throughput gain flagged as regression: exit %d, want 0", code)
 	}
 }
 
 func TestCompareMissingFile(t *testing.T) {
 	if code := compareReports(filepath.Join(t.TempDir(), "absent.json"),
-		writeReport(t, "new.json", oldJSON), 0.15); code != 2 {
+		writeReport(t, "new.json", oldJSON), defaultTol()); code != 2 {
 		t.Errorf("missing baseline: exit %d, want 2", code)
 	}
 }
 
-func TestNsPerOpIndexing(t *testing.T) {
+func TestMetricIndexing(t *testing.T) {
 	rep := Report{Benchmarks: []Benchmark{
 		{Name: "A", Metrics: []Metric{{Value: 7, Unit: "B/op"}, {Value: 42, Unit: "ns/op"}}},
 		{Name: "B", Metrics: []Metric{{Value: 9, Unit: "allocs/op"}}},
 	}}
-	ns := nsPerOp(rep)
+	ns := metricIndex(rep, "ns/op")
 	if ns["A"] != 42 {
 		t.Errorf("ns/op[A] = %v", ns["A"])
 	}
 	if _, ok := ns["B"]; ok {
 		t.Error("benchmark without ns/op should not be indexed")
+	}
+	if al := metricIndex(rep, "allocs/op"); al["B"] != 9 {
+		t.Errorf("allocs/op[B] = %v", al["B"])
 	}
 }

@@ -54,6 +54,19 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(t)
 }
 
+// Waiter is woken when an outstanding miss fills. Waiters are long-lived
+// components or pooled per-operation state machines, so tracking a miss
+// allocates nothing — this replaced the previous per-miss func() callback.
+type Waiter interface {
+	LineFilled(line uint64)
+}
+
+// WaiterFunc adapts a closure to Waiter for cold paths and tests.
+type WaiterFunc func(line uint64)
+
+// LineFilled implements Waiter.
+func (f WaiterFunc) LineFilled(line uint64) { f(line) }
+
 // Cache is a set-associative LRU cache of line addresses.
 type Cache struct {
 	cfg   Config
@@ -61,13 +74,13 @@ type Cache struct {
 	valid [][]bool
 	Stats Stats
 
-	pending map[uint64][]func()
+	pending map[uint64][]Waiter
 }
 
 // New creates a cache.
 func New(cfg Config) *Cache {
 	n := cfg.Sets()
-	c := &Cache{cfg: cfg, sets: make([][]uint64, n), pending: make(map[uint64][]func())}
+	c := &Cache{cfg: cfg, sets: make([][]uint64, n), pending: make(map[uint64][]Waiter)}
 	for i := range c.sets {
 		c.sets[i] = make([]uint64, 0, cfg.Ways)
 	}
@@ -121,11 +134,11 @@ func (c *Cache) Insert(line uint64) {
 // MissTrack registers an outstanding miss on line.
 //
 //	primary=true  — caller must fetch the line downstream and call Fill.
-//	primary=false, ok=true — merged; cb runs at Fill time.
+//	primary=false, ok=true — merged; w wakes at Fill time.
 //	ok=false      — MSHR file full; caller must stall/retry.
-func (c *Cache) MissTrack(line uint64, cb func()) (primary, ok bool) {
-	if cbs, exists := c.pending[line]; exists {
-		c.pending[line] = append(cbs, cb)
+func (c *Cache) MissTrack(line uint64, w Waiter) (primary, ok bool) {
+	if ws, exists := c.pending[line]; exists {
+		c.pending[line] = append(ws, w)
 		c.Stats.MSHRMerge++
 		return false, true
 	}
@@ -133,7 +146,7 @@ func (c *Cache) MissTrack(line uint64, cb func()) (primary, ok bool) {
 		c.Stats.MSHRStall++
 		return false, false
 	}
-	c.pending[line] = []func(){cb}
+	c.pending[line] = []Waiter{w}
 	return true, true
 }
 
@@ -144,10 +157,10 @@ func (c *Cache) OutstandingMisses() int { return len(c.pending) }
 // merged waiter.
 func (c *Cache) Fill(line uint64) {
 	c.Insert(line)
-	cbs := c.pending[line]
+	ws := c.pending[line]
 	delete(c.pending, line)
-	for _, cb := range cbs {
-		cb()
+	for _, w := range ws {
+		w.LineFilled(line)
 	}
 }
 

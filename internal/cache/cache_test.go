@@ -62,8 +62,8 @@ func TestLRU(t *testing.T) {
 func TestMSHRMergeAndFill(t *testing.T) {
 	c := mk(1024, 2, 2)
 	fired := 0
-	p1, ok1 := c.MissTrack(9, func() { fired++ })
-	p2, ok2 := c.MissTrack(9, func() { fired++ })
+	p1, ok1 := c.MissTrack(9, WaiterFunc(func(uint64) { fired++ }))
+	p2, ok2 := c.MissTrack(9, WaiterFunc(func(uint64) { fired++ }))
 	if !p1 || !ok1 || p2 || !ok2 {
 		t.Fatalf("track results %v,%v,%v,%v", p1, ok1, p2, ok2)
 	}
@@ -81,8 +81,8 @@ func TestMSHRMergeAndFill(t *testing.T) {
 
 func TestMSHRFull(t *testing.T) {
 	c := mk(1024, 2, 1)
-	c.MissTrack(1, func() {})
-	_, ok := c.MissTrack(2, func() {})
+	c.MissTrack(1, WaiterFunc(func(uint64) {}))
+	_, ok := c.MissTrack(2, WaiterFunc(func(uint64) {}))
 	if ok {
 		t.Fatal("allocation beyond MSHR capacity succeeded")
 	}

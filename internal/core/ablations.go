@@ -36,16 +36,19 @@ func (s *Route) Translate(req *xlat.Request) {
 
 func (s *Route) step(req *xlat.Request, cur geom.Coord, path []geom.Coord, i int) {
 	next := path[i]
+	req.Ref() // hop leg: transit plus aux-probe callback
 	s.f.Mesh.Send(cur, next, xlat.ReqBytes, func() {
 		if next == s.f.Layout.CPU {
 			s.f.IOMMU.Submit(req, false)
 			// On response, fill the path caches (return-path installs).
 			s.fillOnReturn(req, path)
+			req.Unref()
 			return
 		}
 		g := s.f.At(next)
 		s.Attempts++
 		g.ProbeAux(keyOf(req), s.lat.AuxProbeLatency, func(pte vm.PTE, _ xlat.PushOrigin, ok bool) {
+			defer req.Unref()
 			if ok {
 				s.Hits++
 				s.f.Respond(next, req, xlat.Result{PTE: pte, Source: xlat.SourceRoute})
@@ -60,16 +63,21 @@ func (s *Route) step(req *xlat.Request, cur geom.Coord, path []geom.Coord, i int
 // IOMMU answers: the response passes each tile on its way back, so each
 // path GPM receives the PTE after its hop distance from the CPU. The
 // request carries no shadow callback, so completion is observed by polling
-// the (monotonic) completed flag at hop granularity.
+// the (monotonic) completed flag at hop granularity; the poll loop holds a
+// reference so the pooled request cannot recycle under it, released as soon
+// as the VPN has been read out.
 func (s *Route) fillOnReturn(req *xlat.Request, path []geom.Coord) {
 	hop := s.f.Mesh.Config().HopLatency
+	req.Ref()
 	var poll func()
 	poll = func() {
 		if !req.Completed() {
 			s.f.Eng.Schedule(hop, poll)
 			return
 		}
-		e, _, ok := s.f.Placement.Global().Lookup(req.VPN)
+		vpn := req.VPN
+		req.Unref()
+		e, _, ok := s.f.Placement.Global().Lookup(vpn)
 		if !ok {
 			return
 		}
@@ -131,9 +139,11 @@ func (s *Concentric) Translate(req *xlat.Request) {
 func (s *Concentric) attempt(req *xlat.Request, from geom.Coord, l int) {
 	target := s.nearestInLayer(l, from)
 	g := s.f.At(target)
+	req.Ref() // attempt leg: transit plus aux-probe callback
 	s.f.Mesh.Send(from, target, xlat.ReqBytes, func() {
 		s.Attempts++
 		g.ProbeAux(keyOf(req), s.cfg.AuxProbeLatency, func(pte vm.PTE, _ xlat.PushOrigin, ok bool) {
+			defer req.Unref()
 			if ok {
 				s.Hits++
 				s.f.Respond(target, req, xlat.Result{PTE: pte, Source: xlat.SourcePeer})
@@ -143,9 +153,7 @@ func (s *Concentric) attempt(req *xlat.Request, from geom.Coord, l int) {
 				s.attempt(req, target, l-1)
 				return
 			}
-			s.f.Mesh.Send(target, s.f.Layout.CPU, xlat.ReqBytes, func() {
-				s.f.IOMMU.Submit(req, false)
-			})
+			s.f.ToIOMMU(target, req, false)
 			// The attempting GPMs cache the eventual translation
 			// (unclustered: every server duplicates).
 			s.fillLater(g, req)
@@ -155,13 +163,16 @@ func (s *Concentric) attempt(req *xlat.Request, from geom.Coord, l int) {
 
 func (s *Concentric) fillLater(g gpmInstaller, req *xlat.Request) {
 	hop := s.f.Mesh.Config().HopLatency
+	req.Ref() // the poll loop reads req until completion
 	var poll func()
 	poll = func() {
 		if !req.Completed() {
 			s.f.Eng.Schedule(hop, poll)
 			return
 		}
-		if e, _, ok := s.f.Placement.Global().Lookup(req.VPN); ok {
+		vpn := req.VPN
+		req.Unref()
+		if e, _, ok := s.f.Placement.Global().Lookup(vpn); ok {
 			g.CacheOnPath(e)
 		}
 	}
@@ -228,16 +239,16 @@ func (s *Distributed) Translate(req *xlat.Request) {
 	peer := s.f.GPMs[s.groupPeer[req.Requester]]
 	from := s.f.CoordOf(req.Requester)
 	s.Probes++
+	req.Ref() // probe leg: transit plus aux-probe callback
 	s.f.Mesh.Send(from, peer.Coord, xlat.ReqBytes, func() {
 		peer.ProbeAux(keyOf(req), s.cfg.AuxProbeLatency, func(pte vm.PTE, _ xlat.PushOrigin, ok bool) {
+			defer req.Unref()
 			if ok {
 				s.Hits++
 				s.f.Respond(peer.Coord, req, xlat.Result{PTE: pte, Source: xlat.SourcePeer})
 				return
 			}
-			s.f.Mesh.Send(peer.Coord, s.f.Layout.CPU, xlat.ReqBytes, func() {
-				s.f.IOMMU.Submit(req, false)
-			})
+			s.f.ToIOMMU(peer.Coord, req, false)
 			// The peer caches the eventual translation for its group.
 			s.fill(peer, req)
 		})
@@ -246,13 +257,16 @@ func (s *Distributed) Translate(req *xlat.Request) {
 
 func (s *Distributed) fill(peer gpmInstaller, req *xlat.Request) {
 	hop := s.f.Mesh.Config().HopLatency
+	req.Ref() // the poll loop reads req until completion
 	var poll func()
 	poll = func() {
 		if !req.Completed() {
 			s.f.Eng.Schedule(hop, poll)
 			return
 		}
-		if e, _, ok := s.f.Placement.Global().Lookup(req.VPN); ok {
+		vpn := req.VPN
+		req.Unref()
+		if e, _, ok := s.f.Placement.Global().Lookup(vpn); ok {
 			peer.CacheOnPath(e)
 		}
 	}

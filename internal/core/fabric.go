@@ -28,6 +28,56 @@ type Fabric struct {
 	Placement *vm.Placement
 
 	byCoord map[geom.Coord]*gpm.GPM
+	msgFree []*reqMsg
+}
+
+// reqMsg phases: what happens when the message reaches its destination.
+const (
+	msgSubmit           = iota // deliver the request to the IOMMU
+	msgSubmitNoRedirect        // same, bypassing the redirection table
+	msgRespond                 // complete the request at its requester
+)
+
+// reqMsg is a pooled mesh message carrying a request (or its result) so the
+// two hottest fabric transits — scheme→IOMMU and responder→requester — post
+// no closure per message. The carrier holds one reference on the request for
+// the duration of the transit; delivery hands off (Submit and Respond take
+// their own references) and releases it.
+type reqMsg struct {
+	f    *Fabric
+	req  *xlat.Request
+	res  xlat.Result
+	kind uint8
+}
+
+// Event implements sim.Handler: the message arrived.
+func (m *reqMsg) Event(sim.EventArg) {
+	f, req, res, kind := m.f, m.req, m.res, m.kind
+	*m = reqMsg{}
+	f.msgFree = append(f.msgFree, m)
+	switch kind {
+	case msgSubmit:
+		f.IOMMU.Submit(req, false)
+	case msgSubmitNoRedirect:
+		f.IOMMU.Submit(req, true)
+	case msgRespond:
+		req.Complete(res)
+	}
+	req.Unref()
+}
+
+// sendReq leases a carrier holding one transit reference and sends it.
+func (f *Fabric) sendReq(from, to geom.Coord, size int, req *xlat.Request, res xlat.Result, kind uint8) {
+	req.Ref()
+	var m *reqMsg
+	if n := len(f.msgFree); n > 0 {
+		m = f.msgFree[n-1]
+		f.msgFree = f.msgFree[:n-1]
+	} else {
+		m = new(reqMsg)
+	}
+	*m = reqMsg{f: f, req: req, res: res, kind: kind}
+	f.Mesh.SendH(from, to, size, m, sim.EventArg{})
 }
 
 // Finish completes Fabric construction after GPMs are populated.
@@ -46,17 +96,17 @@ func (f *Fabric) CoordOf(id int) geom.Coord { return f.GPMs[id].Coord }
 
 // ToIOMMU routes a request from its requester to the CPU tile and submits it.
 func (f *Fabric) ToIOMMU(from geom.Coord, req *xlat.Request, noRedirect bool) {
-	f.Mesh.Send(from, f.Layout.CPU, xlat.ReqBytes, func() {
-		f.IOMMU.Submit(req, noRedirect)
-	})
+	kind := uint8(msgSubmit)
+	if noRedirect {
+		kind = msgSubmitNoRedirect
+	}
+	f.sendReq(from, f.Layout.CPU, xlat.ReqBytes, req, xlat.Result{}, kind)
 }
 
 // Respond carries a translation result from a serving tile back to the
 // requester and completes the request there.
 func (f *Fabric) Respond(from geom.Coord, req *xlat.Request, res xlat.Result) {
-	f.Mesh.Send(from, f.CoordOf(req.Requester), xlat.RespBytes, func() {
-		req.Complete(res)
-	})
+	f.sendReq(from, f.CoordOf(req.Requester), xlat.RespBytes, req, res, msgRespond)
 }
 
 // keyOf builds the TLB key of a request.

@@ -74,8 +74,10 @@ func (s *HDPAT) probeLayer(req *xlat.Request, l int, sequential bool) {
 		from = s.layers.Home(l+1, uint64(req.VPN))
 	}
 	s.Probes++
+	req.Ref() // probe leg: transit plus aux-probe callback
 	s.f.Mesh.Send(from, home, xlat.ReqBytes, func() {
 		target.ProbeAux(keyOf(req), s.cfg.AuxProbeLatency, func(pte vm.PTE, origin xlat.PushOrigin, ok bool) {
+			defer req.Unref()
 			if ok {
 				s.ProbeHits++
 				s.f.Respond(home, req, xlat.Result{PTE: pte, Source: origin.SourceOf()})
@@ -83,9 +85,7 @@ func (s *HDPAT) probeLayer(req *xlat.Request, l int, sequential bool) {
 			}
 			if l == 0 {
 				s.ToIOMMU++
-				s.f.Mesh.Send(home, s.f.Layout.CPU, xlat.ReqBytes, func() {
-					s.f.IOMMU.Submit(req, false)
-				})
+				s.f.ToIOMMU(home, req, false)
 				return
 			}
 			if sequential {
@@ -135,11 +135,15 @@ func (s *HDPAT) push(pte vm.PTE, origin xlat.PushOrigin) (int, bool) {
 func (s *HDPAT) redirect(req *xlat.Request, gpmID int) {
 	target := s.f.GPMs[gpmID]
 	cpu := s.f.Layout.CPU
+	// The IOMMU job releases its reference as soon as Redirect returns, so
+	// the redirect legs carry their own.
+	req.Ref()
 	s.f.Mesh.Send(cpu, target.Coord, xlat.ReqBytes, func() {
 		target.ProbeAux(keyOf(req), s.cfg.AuxProbeLatency, func(pte vm.PTE, _ xlat.PushOrigin, ok bool) {
 			if ok {
 				s.RedirectOK++
 				s.f.Respond(target.Coord, req, xlat.Result{PTE: pte, Source: xlat.SourceRedirect})
+				req.Unref()
 				return
 			}
 			s.RedirectNo++
@@ -148,6 +152,7 @@ func (s *HDPAT) redirect(req *xlat.Request, gpmID int) {
 					rt.Remove(keyOf(req))
 				}
 				s.f.IOMMU.Submit(req, true)
+				req.Unref()
 			})
 		})
 	})

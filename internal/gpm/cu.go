@@ -7,8 +7,12 @@ import (
 
 // cuState is the issue engine of one compute unit: it walks its address
 // trace with bounded memory-level parallelism (cfg.MLP outstanding ops) and
-// a fixed issue gap modelling the kernel's compute intensity.
+// a fixed issue gap modelling the kernel's compute intensity. It is its own
+// event handler — issue wake-ups and gap ticks post the cuState itself, so
+// the steady-state issue loop allocates nothing.
 type cuState struct {
+	g          *GPM
+	idx        int
 	trace      []vm.VAddr
 	next       int
 	inflight   int
@@ -17,7 +21,11 @@ type cuState struct {
 	armed      bool      // an issue event is scheduled
 }
 
-// LoadTrace assigns the address trace CU cu will execute.
+// Event implements sim.Handler: every event posted on a CU is an issue tick.
+func (c *cuState) Event(sim.EventArg) { c.g.issue(c.idx) }
+
+// LoadTrace assigns the address trace CU cu will execute. All traces must be
+// loaded before Start; the issue machinery holds pointers into g.cus.
 func (g *GPM) LoadTrace(cu int, trace []vm.VAddr) {
 	for len(g.cus) < g.cfg.NumCUs {
 		g.cus = append(g.cus, cuState{})
@@ -39,6 +47,8 @@ func (g *GPM) Start(gap sim.VTime, onFinish func(id int, at sim.VTime)) {
 	}
 	g.running = 0
 	for i := range g.cus {
+		g.cus[i].g = g
+		g.cus[i].idx = i
 		if len(g.cus[i].trace) > 0 {
 			g.running++
 		}
@@ -50,10 +60,9 @@ func (g *GPM) Start(gap sim.VTime, onFinish func(id int, at sim.VTime)) {
 	}
 	for i := range g.cus {
 		if len(g.cus[i].trace) > 0 {
-			cu := i
 			// Stagger CU start cycles slightly to avoid artificial lockstep.
 			g.cus[i].armed = true
-			g.eng.Schedule(sim.VTime(i%8), func() { g.issue(cu) })
+			g.eng.Post(sim.VTime(i%8), &g.cus[i], sim.EventArg{})
 		}
 	}
 }
@@ -76,12 +85,12 @@ func (g *GPM) issue(cu int) {
 	if g.m != nil {
 		g.m.opsIssued.Inc()
 	}
-	g.Translate(cu, va, func(pte vm.PTE) {
-		g.Access(cu, va, pte, func() { g.opDone(cu) })
-	})
+	// Launch the op end to end: translate, then access, then opDone — no
+	// per-op callbacks on this path.
+	g.getOp(cu, va).startTranslate()
 	if c.next < len(c.trace) {
 		c.armed = true
-		g.eng.Schedule(g.gap, func() { g.issue(cu) })
+		g.eng.Post(g.gap, c, sim.EventArg{})
 	}
 }
 
@@ -100,7 +109,7 @@ func (g *GPM) opDone(cu int) {
 		}
 		c.stalled = false
 		c.armed = true
-		g.eng.Schedule(0, func() { g.issue(cu) })
+		g.eng.Post(0, c, sim.EventArg{})
 	}
 	if c.next >= len(c.trace) && c.inflight == 0 {
 		g.running--

@@ -2,64 +2,34 @@ package gpm
 
 import (
 	"hdpat/internal/cache"
+	"hdpat/internal/sim"
 	"hdpat/internal/vm"
 )
+
+// LineFetcher retrieves a cacheline from the owner GPM's memory on behalf of
+// requester; the line arrives via requester.FillLine. The system builder
+// implements it over the mesh with pooled fetch state machines.
+type LineFetcher interface {
+	FetchLine(requester *GPM, owner int, line uint64)
+}
 
 // Access performs the data access for a translated address: per-CU L1,
 // shared L2, then local HBM or a remote fetch from the owner GPM at
 // cacheline granularity (§II-A zero-copy). done fires when the data is
-// available to the CU.
+// available to the CU. The closure-compat form of the op state machine
+// (op.go).
 func (g *GPM) Access(cu int, va vm.VAddr, pte vm.PTE, done func()) {
-	pa := g.ps.Translate(va, pte.PFN)
-	line := cache.LineOf(pa)
-	l1 := g.l1Caches[cu]
-	g.eng.Schedule(l1.Latency(), func() {
-		if l1.Lookup(line) {
-			done()
-			return
-		}
-		g.accessL2(cu, line, pte.Owner, done)
-	})
+	o := g.getOp(cu, va)
+	o.doneD = done
+	o.startAccess(pte)
 }
 
-func (g *GPM) accessL2(cu int, line uint64, owner int, done func()) {
-	g.eng.Schedule(g.l2Cache.Latency(), func() { g.tryAccessL2(cu, line, owner, done) })
-}
+// Event implements sim.Handler: the GPM's only typed event is an L2 data
+// fill (arg.A is the line), posted at HBM completion or remote arrival.
+func (g *GPM) Event(arg sim.EventArg) { g.fillL2(arg.A) }
 
-// tryAccessL2 is the post-latency L2 access body. It runs synchronously so
-// the MSHR drain loop in fillL2 can observe register consumption between
-// waiters.
-func (g *GPM) tryAccessL2(cu int, line uint64, owner int, done func()) {
-	l1 := g.l1Caches[cu]
-	if g.l2Cache.Lookup(line) {
-		l1.Insert(line)
-		done()
-		return
-	}
-	fill := func() {
-		l1.Insert(line)
-		done()
-	}
-	primary, ok := g.l2Cache.MissTrack(line, fill)
-	if !ok {
-		// L2 MSHRs exhausted: stall at the L2 boundary; resume when a
-		// register frees.
-		g.Stats.MSHRRetries++
-		g.l2DataWait = append(g.l2DataWait, func() { g.tryAccessL2(cu, line, owner, done) })
-		return
-	}
-	if !primary {
-		return
-	}
-	if owner == g.ID {
-		g.Stats.LocalAccesses++
-		doneAt := g.hbm.Access(g.eng.Now(), cache.LineSize)
-		g.eng.At(doneAt, func() { g.fillL2(line) })
-		return
-	}
-	g.Stats.RemoteAccesses++
-	g.FetchRemote(owner, line, func() { g.fillL2(line) })
-}
+// FillLine delivers a remotely fetched cacheline (LineFetcher completion).
+func (g *GPM) FillLine(line uint64) { g.fillL2(line) }
 
 // fillL2 completes an outstanding L2 data miss, then drains stalled accesses
 // while MSHR registers remain free. Waiters that hit the freshly filled line
@@ -71,7 +41,7 @@ func (g *GPM) fillL2(line uint64) {
 	for len(g.l2DataWait) > 0 && g.l2Cache.OutstandingMisses() < g.cfg.L2Cache.MSHRs {
 		w := g.l2DataWait[0]
 		g.l2DataWait = g.l2DataWait[1:]
-		w()
+		w.stepD2()
 	}
 }
 
@@ -80,4 +50,10 @@ func (g *GPM) fillL2(line uint64) {
 func (g *GPM) ServeLine(line uint64, done func()) {
 	doneAt := g.hbm.Access(g.eng.Now(), cache.LineSize)
 	g.eng.At(doneAt, done)
+}
+
+// ServeLineH is ServeLine with a typed completion.
+func (g *GPM) ServeLineH(line uint64, h sim.Handler, arg sim.EventArg) {
+	doneAt := g.hbm.Access(g.eng.Now(), cache.LineSize)
+	g.eng.PostAt(doneAt, h, arg)
 }

@@ -88,8 +88,12 @@ type GPM struct {
 
 	// Remote is the active translation scheme (set by the system builder).
 	Remote xlat.RemoteTranslator
-	// FetchRemote retrieves a cacheline from the owner GPM's memory.
-	FetchRemote func(owner int, line uint64, done func())
+	// Fetch retrieves cachelines from owner GPMs' memories; the fetched
+	// line arrives via FillLine.
+	Fetch LineFetcher
+	// ReqPool leases remote-translation requests. New installs a private
+	// pool; the system builder replaces it with the run-wide one.
+	ReqPool *xlat.RequestPool
 	// NextReqID allocates wafer-unique translation request ids.
 	NextReqID func() uint64
 	// Trace, when non-nil, receives one request span per remote translation
@@ -104,9 +108,11 @@ type GPM struct {
 
 	// l2TLBWait queues translation misses stalled on a full L2 TLB MSHR
 	// file; they resume as registers free (no polling).
-	l2TLBWait []func()
+	l2TLBWait []*op
 	// l2DataWait queues data misses stalled on full L2 cache MSHRs.
-	l2DataWait []func()
+	l2DataWait []*op
+	// opFree recycles finished memory-operation state machines.
+	opFree []*op
 
 	// m mirrors GPM activity into an attached registry; counters are shared
 	// across GPMs (same names), aggregating the wafer.
@@ -162,6 +168,7 @@ func New(eng *sim.Engine, id int, coord geom.Coord, cfg config.GPM, ps vm.PageSi
 		walkers: sim.NewPool(cfg.GMMUWalkers),
 		l2Cache: cache.New(cfg.L2Cache),
 		hbm:     dram.New(cfg.HBM),
+		ReqPool: xlat.NewRequestPool(),
 	}
 	g.filter = cuckoo.New(localPT.Len()*2 + 64)
 	for i := 0; i < cfg.NumCUs; i++ {
@@ -208,44 +215,13 @@ func (g *GPM) Engine() *sim.Engine { return g.eng }
 // PageSize returns the system page size.
 func (g *GPM) PageSize() vm.PageSize { return g.ps }
 
-// Translate resolves va for the given CU, invoking done with the PTE.
+// Translate resolves va for the given CU, invoking done with the PTE. The
+// closure-compat form of the op state machine (op.go); the CU issue path
+// drives ops directly without a per-op callback.
 func (g *GPM) Translate(cu int, va vm.VAddr, done func(vm.PTE)) {
-	k := tlb.Key{PID: 0, VPN: g.ps.VPNOf(va)}
-	l1 := g.l1TLBs[cu]
-	g.eng.Schedule(l1.Latency(), func() {
-		if pte, ok := l1.Lookup(k); ok {
-			g.Stats.L1TLBHits++
-			done(pte)
-			return
-		}
-		g.translateL2(cu, k, done)
-	})
-}
-
-func (g *GPM) translateL2(cu int, k tlb.Key, done func(vm.PTE)) {
-	fill := func(pte vm.PTE, _ bool) {
-		g.l1TLBs[cu].Insert(pte)
-		done(pte)
-	}
-	primary, ok := g.l2MSHR.Allocate(k, fill)
-	if !ok {
-		// MSHR file full: the request stalls at the L2 TLB boundary and
-		// resumes when a register frees.
-		g.Stats.MSHRRetries++
-		g.l2TLBWait = append(g.l2TLBWait, func() { g.translateL2(cu, k, done) })
-		return
-	}
-	if !primary {
-		return // coalesced into an earlier miss
-	}
-	g.eng.Schedule(g.l2TLB.Latency(), func() {
-		if pte, ok := g.l2TLB.Lookup(k); ok {
-			g.Stats.L2TLBHits++
-			g.completeL2(k, pte)
-			return
-		}
-		g.checkFilter(k)
-	})
+	o := g.getOp(cu, va)
+	o.doneT = done
+	o.startTranslate()
 }
 
 // completeL2 resolves an outstanding L2 TLB miss and wakes one stalled
@@ -255,38 +231,9 @@ func (g *GPM) completeL2(k tlb.Key, pte vm.PTE) {
 	if len(g.l2TLBWait) > 0 {
 		w := g.l2TLBWait[0]
 		g.l2TLBWait = g.l2TLBWait[1:]
-		g.eng.Schedule(1, w)
+		w.state = opRetryL2
+		g.eng.Post(1, w, sim.EventArg{})
 	}
-}
-
-// checkFilter consults the cuckoo filter (§II-B): negative answers bypass
-// the whole local path; positives proceed through LLTLB and GMMU, with
-// false positives paying the doubled-latency penalty before going remote.
-func (g *GPM) checkFilter(k tlb.Key) {
-	g.eng.Schedule(g.cfg.CuckooLatency, func() {
-		if !g.filter.Contains(filterKey(k)) {
-			g.Stats.FilterNegative++
-			g.goRemote(k)
-			return
-		}
-		g.Stats.FilterPositive++
-		g.eng.Schedule(g.llTLB.Latency(), func() {
-			if pte, ok := g.llTLB.Lookup(k); ok {
-				g.Stats.LLTLBHits++
-				g.finishLocal(k, pte)
-				return
-			}
-			g.walkLocal(k, func(pte vm.PTE, found bool) {
-				if found {
-					g.llTLB.Insert(pte)
-					g.finishLocal(k, pte)
-					return
-				}
-				g.Stats.FalsePositives++
-				g.goRemote(k)
-			})
-		})
-	})
 }
 
 func (g *GPM) finishLocal(k tlb.Key, pte vm.PTE) {
@@ -305,26 +252,22 @@ func (g *GPM) walkLocal(k tlb.Key, done func(vm.PTE, bool)) {
 	})
 }
 
-// goRemote hands the translation to the active scheme.
-func (g *GPM) goRemote(k tlb.Key) {
-	g.Stats.RemoteRequests++
+// RequestDone implements xlat.Completer: the scheme resolved a remote
+// translation this GPM issued. Fills the L2 TLB, wakes the waiting ops, and
+// drops the creator reference — the request recycles once any still-running
+// scheme legs release theirs.
+func (g *GPM) RequestDone(req *xlat.Request, res xlat.Result) {
+	done := g.eng.Now()
+	issued := req.Issued
+	g.Stats.RemoteBySource[res.Source]++
+	g.Stats.RemoteLatencySum += uint64(done - issued)
 	if g.m != nil {
-		g.m.remoteReqs.Inc()
+		g.m.remoteLat.Observe(uint64(done - issued))
 	}
-	issued := g.eng.Now()
-	var req *xlat.Request
-	req = xlat.NewRequest(g.NextReqID(), k.PID, k.VPN, g.ID, issued, func(res xlat.Result) {
-		done := g.eng.Now()
-		g.Stats.RemoteBySource[res.Source]++
-		g.Stats.RemoteLatencySum += uint64(done - issued)
-		if g.m != nil {
-			g.m.remoteLat.Observe(uint64(done - issued))
-		}
-		g.Trace.RequestSpan(uint64(issued), uint64(done), req.ID, int(res.Source), g.ID)
-		g.l2TLB.Insert(res.PTE)
-		g.completeL2(k, res.PTE)
-	})
-	g.Remote.Translate(req)
+	g.Trace.RequestSpan(uint64(issued), uint64(done), req.ID, int(res.Source), g.ID)
+	g.l2TLB.Insert(res.PTE)
+	g.completeL2(tlb.Key{PID: req.PID, VPN: req.VPN}, res.PTE)
+	req.Unref()
 }
 
 // --- Peer-facing services -------------------------------------------------

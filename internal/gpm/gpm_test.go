@@ -54,10 +54,17 @@ func testGPM(t *testing.T) (*GPM, *sim.Engine, *fakeRemote) {
 	g.Remote = remote
 	id := uint64(0)
 	g.NextReqID = func() uint64 { id++; return id }
-	g.FetchRemote = func(owner int, line uint64, done func()) {
-		eng.Schedule(200, done)
-	}
+	g.Fetch = fetchFunc(func(requester *GPM, owner int, line uint64) {
+		eng.Schedule(200, func() { requester.FillLine(line) })
+	})
 	return g, eng, remote
+}
+
+// fetchFunc adapts a closure to LineFetcher for tests.
+type fetchFunc func(requester *GPM, owner int, line uint64)
+
+func (f fetchFunc) FetchLine(requester *GPM, owner int, line uint64) {
+	f(requester, owner, line)
 }
 
 func addr(v vm.VPN) vm.VAddr { return vm.Page4K.Base(v) }

@@ -62,11 +62,90 @@ type Stats struct {
 	PeakQueue int
 }
 
+// jobState names the stage a pooled IOMMU job resumes at when its next
+// event fires; the stages mirror the closure chain they replaced one for
+// one, so dispatch order and results are unchanged.
+type jobState uint8
+
+const (
+	jobQueued  jobState = iota // waiting in admission/PW-queue (no event pending)
+	jobRTProbe                 // redirection-table check after its latency
+	jobTLBTry                  // IOMMU-TLB access after its latency
+	jobWalk                    // page-table walk completes at this event
+	jobMerged                  // IOMMU-TLB variant: coalesced, waiting on Fill
+)
+
+// job is one translation request's residency at the IOMMU: a pooled state
+// machine that is its own event handler (sim.Handler) and, in the Fig 19
+// variant, its own MSHR waiter (tlb.Filler). The job takes one reference on
+// the request at Submit and holds it until its terminal action, so request
+// identity fields stay coherent even on the late paths (SkippedCompleted,
+// redirects of already-answered requests) — id/pid/vpn are also snapshotted
+// so queue traces never depend on request lifetime.
 type job struct {
-	req        *xlat.Request
+	io  *IOMMU
+	req *xlat.Request
+
+	id  uint64
+	pid vm.PID
+	vpn vm.VPN
+
 	arrived    sim.VTime // at the IOMMU
 	enqueued   sim.VTime // into the PW-queue
+	started    sim.VTime // walk start
+	service    sim.VTime // walk service time
 	noRedirect bool
+	state      jobState
+}
+
+// getJob leases a job; the engine is single-threaded, so a plain free list
+// suffices.
+func (io *IOMMU) getJob() *job {
+	if n := len(io.jobFree); n > 0 {
+		j := io.jobFree[n-1]
+		io.jobFree = io.jobFree[:n-1]
+		return j
+	}
+	return new(job)
+}
+
+// release ends the job: recycle it and drop its request reference. Called
+// exactly once, at the job's terminal action.
+func (j *job) release() {
+	io, req := j.io, j.req
+	*j = job{}
+	io.jobFree = append(io.jobFree, j)
+	req.Unref()
+}
+
+// Event resumes the job at its recorded stage.
+func (j *job) Event(sim.EventArg) {
+	switch j.state {
+	case jobRTProbe:
+		j.probeRT()
+	case jobTLBTry:
+		j.tryTLB()
+	case jobWalk:
+		j.io.walkDone(j)
+	}
+}
+
+// resp carries one completion across the mesh back to the requester: a
+// pooled delivery handler holding its own request reference for the
+// transit. Result is too wide for an EventArg, hence the carrier object.
+type resp struct {
+	io  *IOMMU
+	req *xlat.Request
+	res xlat.Result
+}
+
+// Event fires at mesh arrival: deliver the completion and recycle.
+func (r *resp) Event(sim.EventArg) {
+	io, req, res := r.io, r.req, r.res
+	*r = resp{}
+	io.respFree = append(io.respFree, r)
+	req.Complete(res)
+	req.Unref()
 }
 
 // IOMMU is the central translation agent.
@@ -87,9 +166,13 @@ type IOMMU struct {
 	rt      *RedirectTable
 	iotlb   *tlb.TLB
 	ioMSHR  *tlb.MSHR
-	tlbWait []func()           // arrivals blocked on full IOMMU-TLB MSHRs
+	tlbWait []*job             // arrivals blocked on full IOMMU-TLB MSHRs
 	counts  map[tlb.Key]uint32 // per-PTE access counts ("unused PTE bits")
 	rtProbe sim.VTime          // redirection table / TLB check latency
+
+	// jobFree / respFree recycle the pooled job and response carriers.
+	jobFree  []*job
+	respFree []*resp
 
 	// Push delivers a walked or prefetched PTE to auxiliary GPM caches.
 	// It returns the GPM chosen (for the redirection table) and whether a
@@ -207,10 +290,10 @@ func (io *IOMMU) traceQueue(j *job, until sim.VTime) {
 		return
 	}
 	if j.enqueued > j.arrived {
-		io.Trace.QueueSpan("iommu.admission", uint64(j.arrived), uint64(j.enqueued), j.req.ID)
+		io.Trace.QueueSpan("iommu.admission", uint64(j.arrived), uint64(j.enqueued), j.id)
 	}
 	if until > j.enqueued {
-		io.Trace.QueueSpan("iommu.pwq", uint64(j.enqueued), uint64(until), j.req.ID)
+		io.Trace.QueueSpan("iommu.pwq", uint64(j.enqueued), uint64(until), j.id)
 	}
 }
 
@@ -232,7 +315,9 @@ func (io *IOMMU) noteQueue() {
 
 // Submit receives a translation request that has arrived at the CPU tile.
 // noRedirect marks a request bounced back from a failed redirection, which
-// must walk rather than consult the redirection table again.
+// must walk rather than consult the redirection table again. Submit takes
+// one reference on req for the job it creates; callers only need req live
+// across the call itself.
 func (io *IOMMU) Submit(req *xlat.Request, noRedirect bool) {
 	io.Stats.Requests++
 	if io.m != nil {
@@ -241,48 +326,52 @@ func (io *IOMMU) Submit(req *xlat.Request, noRedirect bool) {
 	for _, h := range io.hooks {
 		h.IOMMURequest(io.eng.Now(), req)
 	}
-	j := &job{req: req, arrived: io.eng.Now(), noRedirect: noRedirect}
-	k := tlb.Key{PID: req.PID, VPN: req.VPN}
+	req.Ref()
+	j := io.getJob()
+	*j = job{io: io, req: req, id: req.ID, pid: req.PID, vpn: req.VPN,
+		arrived: io.eng.Now(), noRedirect: noRedirect}
 
 	switch {
 	case io.iotlb != nil:
-		io.submitTLB(j, k)
+		// Fig 19 variant front-end: a conventional TLB whose MSHRs block
+		// admission when exhausted.
+		j.state = jobTLBTry
+		io.eng.Post(io.iotlb.Latency(), j, sim.EventArg{})
 	case io.rt != nil && !noRedirect:
-		io.eng.Schedule(io.rtProbe, func() {
-			if gpm, ok := io.rt.Lookup(k); ok && io.Redirect != nil {
-				io.Stats.RTRedirects++
-				if io.m != nil {
-					io.m.redirects.Inc()
-				}
-				io.Redirect(req, gpm)
-				return
-			}
-			io.enqueue(j)
-		})
+		j.state = jobRTProbe
+		io.eng.Post(io.rtProbe, j, sim.EventArg{})
 	default:
 		io.enqueue(j)
 	}
 }
 
-// submitTLB is the Fig 19 variant front-end: a conventional TLB whose MSHRs
-// block admission when exhausted.
-func (io *IOMMU) submitTLB(j *job, k tlb.Key) {
-	io.eng.Schedule(io.iotlb.Latency(), func() { io.tryTLB(j, k) })
+// probeRT is the post-latency redirection-table check at admission.
+func (j *job) probeRT() {
+	io := j.io
+	if gpm, ok := io.rt.Lookup(tlb.Key{PID: j.pid, VPN: j.vpn}); ok && io.Redirect != nil {
+		io.Stats.RTRedirects++
+		if io.m != nil {
+			io.m.redirects.Inc()
+		}
+		io.Redirect(j.req, gpm)
+		j.release()
+		return
+	}
+	io.enqueue(j)
 }
 
 // tryTLB is the post-latency TLB access body; it runs synchronously so the
 // drain loop in completeTLBMSHR can observe register consumption.
-func (io *IOMMU) tryTLB(j *job, k tlb.Key) {
+func (j *job) tryTLB() {
+	io := j.io
+	k := tlb.Key{PID: j.pid, VPN: j.vpn}
 	if pte, ok := io.iotlb.Lookup(k); ok {
 		io.Stats.TLBHits++
 		io.respond(j.req, xlat.Result{PTE: pte, Source: xlat.SourceRedirect})
+		j.release()
 		return
 	}
-	primary, ok := io.ioMSHR.Allocate(k, func(pte vm.PTE, found bool) {
-		if found {
-			io.respond(j.req, xlat.Result{PTE: pte, Source: xlat.SourceIOMMU})
-		}
-	})
+	primary, ok := io.ioMSHR.Allocate(k, j)
 	if !ok {
 		// All MSHRs occupied: the request stalls outside the TLB (§V-E)
 		// until a register frees.
@@ -290,12 +379,14 @@ func (io *IOMMU) tryTLB(j *job, k tlb.Key) {
 		if io.m != nil {
 			io.m.tlbBlocked.Inc()
 		}
-		io.tlbWait = append(io.tlbWait, func() { io.tryTLB(j, k) })
+		io.tlbWait = append(io.tlbWait, j)
 		return
 	}
 	if primary {
 		// The walk's completion fills the TLB and drains the MSHR rather
-		// than responding directly.
+		// than responding directly; this job's own response arrives through
+		// its Fill like every merged waiter's.
+		j.state = jobQueued
 		io.enqueue(j)
 		return
 	}
@@ -304,6 +395,19 @@ func (io *IOMMU) tryTLB(j *job, k tlb.Key) {
 	io.Stats.MSHRMerged++
 	if io.m != nil {
 		io.m.tlbMerged.Inc()
+	}
+	j.state = jobMerged
+}
+
+// Fill implements tlb.Filler for the IOMMU-TLB variant: the MSHR register
+// this job waits on resolved. Merged jobs end here; the primary is still
+// mid-walkDone and releases there.
+func (j *job) Fill(pte vm.PTE, found bool) {
+	if found {
+		j.io.respond(j.req, xlat.Result{PTE: pte, Source: xlat.SourceIOMMU})
+	}
+	if j.state == jobMerged {
+		j.release()
 	}
 }
 
@@ -337,6 +441,7 @@ func (io *IOMMU) dispatch() {
 				io.m.skipped.Inc()
 			}
 			io.traceQueue(j, io.eng.Now())
+			j.release()
 			continue
 		}
 		// The redirection table sits in front of the walkers (Fig 12): a
@@ -344,7 +449,7 @@ func (io *IOMMU) dispatch() {
 		// caught here instead of burning a walker — the "requests quickly
 		// catch up to recently completed translations" behaviour of §IV-F.
 		if io.rt != nil && !j.noRedirect && io.Redirect != nil {
-			k := tlb.Key{PID: j.req.PID, VPN: j.req.VPN}
+			k := tlb.Key{PID: j.pid, VPN: j.vpn}
 			if gpm, ok := io.rt.Lookup(k); ok {
 				io.Stats.RTRedirects++
 				if io.m != nil {
@@ -352,6 +457,7 @@ func (io *IOMMU) dispatch() {
 				}
 				io.traceQueue(j, io.eng.Now())
 				io.Redirect(j.req, gpm)
+				j.release()
 				continue
 			}
 		}
@@ -364,7 +470,9 @@ func (io *IOMMU) dispatch() {
 		if io.cfg.PrefetchDegree > 1 {
 			service += io.cfg.PrefetchExtraCycles * sim.VTime(io.cfg.PrefetchDegree-1)
 		}
-		io.eng.At(start+service, func() { io.walkDone(j, start, service) })
+		j.started, j.service = start, service
+		j.state = jobWalk
+		io.eng.PostAt(start+service, j, sim.EventArg{})
 	}
 }
 
@@ -378,7 +486,8 @@ func (io *IOMMU) promote() {
 	}
 }
 
-func (io *IOMMU) walkDone(j *job, started sim.VTime, service sim.VTime) {
+func (io *IOMMU) walkDone(j *job) {
+	started, service := j.started, j.service
 	io.busy--
 	io.Stats.Walks++
 	io.Stats.Breakdown.Add(
@@ -393,9 +502,9 @@ func (io *IOMMU) walkDone(j *job, started sim.VTime, service sim.VTime) {
 	}
 	io.traceQueue(j, started)
 	if io.Trace != nil {
-		io.Trace.WalkSpan(uint64(started), uint64(started+service), j.req.ID, uint64(j.req.VPN))
+		io.Trace.WalkSpan(uint64(started), uint64(started+service), j.id, uint64(j.vpn))
 	}
-	k := tlb.Key{PID: j.req.PID, VPN: j.req.VPN}
+	k := tlb.Key{PID: j.pid, VPN: j.vpn}
 	pte, _, found := io.global.Lookup(k.VPN)
 	io.counts[k]++
 
@@ -464,6 +573,7 @@ func (io *IOMMU) walkDone(j *job, started sim.VTime, service sim.VTime) {
 	io.promote()
 	io.noteQueue()
 	io.dispatch()
+	j.release()
 }
 
 // revisit serves queued duplicates of a just-completed walk (§IV-F step 6;
@@ -478,7 +588,7 @@ func (io *IOMMU) revisit(k tlb.Key, pte vm.PTE, found bool) {
 	var served []*job
 	out := io.pwq[:0]
 	for _, j := range io.pwq {
-		if j.req.PID == k.PID && j.req.VPN == k.VPN {
+		if j.pid == k.PID && j.vpn == k.VPN {
 			served = append(served, j)
 			continue
 		}
@@ -496,10 +606,11 @@ func (io *IOMMU) revisit(k tlb.Key, pte vm.PTE, found bool) {
 		}
 		io.traceQueue(j, io.eng.Now())
 		if io.iotlb != nil {
-			io.completeTLBMSHR(tlb.Key{PID: j.req.PID, VPN: j.req.VPN}, pte, true)
+			io.completeTLBMSHR(tlb.Key{PID: j.pid, VPN: j.vpn}, pte, true)
 		} else {
 			io.respond(j.req, xlat.Result{PTE: pte, Source: xlat.SourceIOMMU})
 		}
+		j.release()
 	}
 }
 
@@ -513,15 +624,23 @@ func (io *IOMMU) completeTLBMSHR(k tlb.Key, pte vm.PTE, found bool) {
 	for len(io.tlbWait) > 0 && io.ioMSHR.Used() < io.ioMSHR.Capacity() {
 		w := io.tlbWait[0]
 		io.tlbWait = io.tlbWait[1:]
-		w()
+		w.tryTLB()
 	}
 }
 
-// respond routes a completion back to the requesting GPM over the mesh.
+// respond routes a completion back to the requesting GPM over the mesh via
+// a pooled carrier holding its own request reference for the transit.
 func (io *IOMMU) respond(req *xlat.Request, res xlat.Result) {
-	io.mesh.Send(io.coord, io.GPMCoord(req.Requester), xlat.RespBytes, func() {
-		req.Complete(res)
-	})
+	req.Ref()
+	var r *resp
+	if n := len(io.respFree); n > 0 {
+		r = io.respFree[n-1]
+		io.respFree = io.respFree[:n-1]
+	} else {
+		r = new(resp)
+	}
+	*r = resp{io: io, req: req, res: res}
+	io.mesh.SendH(io.coord, io.GPMCoord(req.Requester), xlat.RespBytes, r, sim.EventArg{})
 }
 
 // AccessCount returns the recorded demand count for a page (tests).

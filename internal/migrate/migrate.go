@@ -67,6 +67,7 @@ type Manager struct {
 
 	heat     map[tlb.Key]*pageHeat
 	inflight int
+	migFree  []*migration
 
 	Stats Stats
 
@@ -158,7 +159,9 @@ func (m *Manager) observe(req *xlat.Request) {
 }
 
 // migrate repoints the page to the target GPM, shoots down stale cached
-// translations wafer-wide, then copies the page data over the mesh.
+// translations wafer-wide, then copies the page data over the mesh. The
+// move from shootdown-done to destination write is carried by one pooled
+// migration state machine instead of nested closures.
 func (m *Manager) migrate(k tlb.Key, to int, h *pageHeat) {
 	old, _, ok := m.f.Placement.Migrate(k.VPN, to)
 	if !ok {
@@ -175,28 +178,70 @@ func (m *Manager) migrate(k tlb.Key, to int, h *pageHeat) {
 	target := m.f.GPMs[to]
 	target.AddLocalMapping(k.PID, k.VPN)
 
-	m.f.Shootdown(k.PID, []vm.VPN{k.VPN}, func(dropped int) {
-		m.Stats.Dropped += uint64(dropped)
+	var mg *migration
+	if n := len(m.migFree); n > 0 {
+		mg = m.migFree[n-1]
+		m.migFree = m.migFree[:n-1]
+	} else {
+		mg = new(migration)
+	}
+	*mg = migration{
+		m: m, k: k, from: old.Owner, to: to,
+		started: started, pageBytes: int(m.f.GPMs[0].PageSize()),
+	}
+	m.f.Shootdown(k.PID, []vm.VPN{k.VPN}, mg.shotDown)
+}
+
+// migration phases, advanced by each Event delivery.
+const (
+	migCopyArrived = iota // page copy reached the target tile
+	migWritten            // destination HBM write finished
+)
+
+// migration is one in-flight page move: shootdown acknowledgement, the page
+// copy over the mesh (charged against link bandwidth), and HBM time at the
+// destination.
+type migration struct {
+	m         *Manager
+	k         tlb.Key
+	from, to  int
+	started   sim.VTime
+	pageBytes int
+	state     uint8
+}
+
+// shotDown receives the wafer-wide shootdown acknowledgement and launches
+// the page copy.
+func (mg *migration) shotDown(dropped int) {
+	m := mg.m
+	m.Stats.Dropped += uint64(dropped)
+	if m.m != nil {
+		m.m.dropped.Add(uint64(dropped))
+	}
+	src := m.f.GPMs[mg.from]
+	mg.state = migCopyArrived
+	m.f.Mesh.SendH(src.Coord, m.f.GPMs[mg.to].Coord, mg.pageBytes, mg, sim.EventArg{})
+}
+
+// Event implements sim.Handler.
+func (mg *migration) Event(sim.EventArg) {
+	switch mg.state {
+	case migCopyArrived:
+		mg.state = migWritten
+		mg.m.f.GPMs[mg.to].ServeLineH(0, mg, sim.EventArg{}) // destination write
+	case migWritten:
+		m := mg.m
+		m.Stats.Migrations++
+		m.Stats.BytesMoved += uint64(mg.pageBytes)
 		if m.m != nil {
-			m.m.dropped.Add(uint64(dropped))
+			m.m.migrations.Inc()
+			m.m.bytesMoved.Add(uint64(mg.pageBytes))
 		}
-		// Copy the page: one transfer over the mesh from the old owner,
-		// charged against link bandwidth, plus HBM time at both ends.
-		pageBytes := int(m.f.GPMs[0].PageSize())
-		src := m.f.GPMs[old.Owner]
-		m.f.Mesh.Send(src.Coord, target.Coord, pageBytes, func() {
-			target.ServeLine(0, func() { // destination write
-				m.Stats.Migrations++
-				m.Stats.BytesMoved += uint64(pageBytes)
-				if m.m != nil {
-					m.m.migrations.Inc()
-					m.m.bytesMoved.Add(uint64(pageBytes))
-				}
-				if m.Trace != nil {
-					m.Trace.MigrationSpan(uint64(started), uint64(m.f.Eng.Now()), uint64(k.VPN), old.Owner, to)
-				}
-				m.inflight--
-			})
-		})
-	})
+		if m.Trace != nil {
+			m.Trace.MigrationSpan(uint64(mg.started), uint64(m.f.Eng.Now()), uint64(mg.k.VPN), mg.from, mg.to)
+		}
+		m.inflight--
+		*mg = migration{}
+		m.migFree = append(m.migFree, mg)
+	}
 }

@@ -9,6 +9,7 @@ package noc
 
 import (
 	"fmt"
+	"sync"
 
 	"hdpat/internal/geom"
 	"hdpat/internal/metrics"
@@ -54,6 +55,11 @@ type Mesh struct {
 
 	reg *metrics.Registry
 	m   *meshMetrics
+
+	// tpool recycles in-flight transfer state machines; a transfer lives
+	// from Send until final delivery, one event per hop, no allocation per
+	// hop or per message in steady state.
+	tpool sync.Pool
 }
 
 // meshMetrics are the mesh's hot-path registry series.
@@ -139,35 +145,63 @@ func dirOf(from, to geom.Coord) int {
 	panic(fmt.Sprintf("noc: %v -> %v is not a single hop", from, to))
 }
 
-// Send routes a message of `size` bytes from src to dst and invokes deliver
-// at the arrival time. src == dst delivers after a single local forwarding
-// delay of one cycle (an on-tile loopback, no link consumed).
-func (m *Mesh) Send(src, dst geom.Coord, size int, deliver func()) {
-	m.Stats.Messages++
-	path := m.layout.XYPath(src, dst)
-	if len(path) > m.Stats.MaxHops {
-		m.Stats.MaxHops = len(path)
+// nextHop returns the next tile on the dimension-ordered XY route from cur
+// toward dst: resolve the X dimension first, then Y — the same step order
+// geom.XYPath materialises, computed incrementally so routing never builds a
+// path slice.
+func nextHop(cur, dst geom.Coord) geom.Coord {
+	switch {
+	case dst.X > cur.X:
+		cur.X++
+	case dst.X < cur.X:
+		cur.X--
+	case dst.Y > cur.Y:
+		cur.Y++
+	default:
+		cur.Y--
 	}
-	m.Stats.HopsTotal += uint64(len(path))
-	m.Stats.ByteHops += uint64(size) * uint64(len(path))
-	if m.m != nil {
-		m.m.messages.Inc()
-		m.m.byteHops.Add(uint64(size) * uint64(len(path)))
-		m.m.hops.Observe(uint64(len(path)))
-	}
-	if len(path) == 0 {
-		m.eng.Schedule(1, deliver)
-		return
-	}
-	m.hop(src, path, 0, size, deliver)
+	return cur
 }
 
-func (m *Mesh) hop(cur geom.Coord, path []geom.Coord, i, size int, deliver func()) {
-	next := path[i]
-	l := m.links[m.layout.NodeID(cur)][dirOf(cur, next)]
+// transfer is one in-flight message: a pooled state machine whose Event
+// fires at each hop arrival. cur is the tile the message has reached; the
+// final arrival hands off to the typed (h, arg) or closure (deliver)
+// completion and recycles the transfer.
+type transfer struct {
+	m        *Mesh
+	cur, dst geom.Coord
+	size     int
+	h        sim.Handler
+	arg      sim.EventArg
+	deliver  func()
+}
+
+// Event advances the message: deliver if it has reached dst, otherwise take
+// the next link.
+func (t *transfer) Event(sim.EventArg) {
+	if t.cur == t.dst {
+		m, h, arg, deliver := t.m, t.h, t.arg, t.deliver
+		*t = transfer{}
+		m.tpool.Put(t)
+		if h != nil {
+			h.Event(arg)
+		} else {
+			deliver()
+		}
+		return
+	}
+	t.step()
+}
+
+// step occupies the output link from t.cur toward t.dst and schedules the
+// arrival at the far end.
+func (t *transfer) step() {
+	m := t.m
+	next := nextHop(t.cur, t.dst)
+	l := m.links[m.layout.NodeID(t.cur)][dirOf(t.cur, next)]
 	// Serialisation: accumulate fractional cycles so small messages still
 	// consume bandwidth in aggregate.
-	l.debt += float64(size) / m.cfg.BytesPerCycle
+	l.debt += float64(t.size) / m.cfg.BytesPerCycle
 	hold := sim.VTime(0)
 	if l.debt >= 1 {
 		whole := sim.VTime(l.debt)
@@ -178,15 +212,54 @@ func (m *Mesh) hop(cur geom.Coord, path []geom.Coord, i, size int, deliver func(
 	_, end := l.line.Occupy(now, hold)
 	arrive := end + m.cfg.HopLatency
 	if m.Trace != nil {
-		m.Trace.HopSpan(uint64(now), uint64(arrive), cur.X, cur.Y, next.X, next.Y, size)
+		m.Trace.HopSpan(uint64(now), uint64(arrive), t.cur.X, t.cur.Y, next.X, next.Y, t.size)
 	}
-	m.eng.At(arrive, func() {
-		if i+1 == len(path) {
-			deliver()
-			return
+	t.cur = next
+	m.eng.PostAt(arrive, t, sim.EventArg{})
+}
+
+// send is the single entry point behind both delivery forms.
+func (m *Mesh) send(src, dst geom.Coord, size int, h sim.Handler, arg sim.EventArg, deliver func()) {
+	m.Stats.Messages++
+	hops := src.Manhattan(dst) // == len(XYPath): one link per unit distance
+	if hops > m.Stats.MaxHops {
+		m.Stats.MaxHops = hops
+	}
+	m.Stats.HopsTotal += uint64(hops)
+	m.Stats.ByteHops += uint64(size) * uint64(hops)
+	if m.m != nil {
+		m.m.messages.Inc()
+		m.m.byteHops.Add(uint64(size) * uint64(hops))
+		m.m.hops.Observe(uint64(hops))
+	}
+	if hops == 0 {
+		if h != nil {
+			m.eng.Post(1, h, arg)
+		} else {
+			m.eng.Schedule(1, deliver)
 		}
-		m.hop(next, path, i+1, size, deliver)
-	})
+		return
+	}
+	t, _ := m.tpool.Get().(*transfer)
+	if t == nil {
+		t = new(transfer)
+	}
+	*t = transfer{m: m, cur: src, dst: dst, size: size, h: h, arg: arg, deliver: deliver}
+	t.step()
+}
+
+// Send routes a message of `size` bytes from src to dst and invokes deliver
+// at the arrival time. src == dst delivers after a single local forwarding
+// delay of one cycle (an on-tile loopback, no link consumed). The closure
+// form; hot senders use SendH.
+func (m *Mesh) Send(src, dst geom.Coord, size int, deliver func()) {
+	m.send(src, dst, size, nil, sim.EventArg{}, deliver)
+}
+
+// SendH is Send with a typed arrival: h.Event(arg) fires at delivery time.
+// Nothing is allocated per message in steady state.
+func (m *Mesh) SendH(src, dst geom.Coord, size int, h sim.Handler, arg sim.EventArg) {
+	m.send(src, dst, size, h, arg, nil)
 }
 
 // VisitLinks calls fn for every directed output link with its tile

@@ -99,16 +99,16 @@ func (s *OwnerFW) Translate(req *xlat.Request) {
 	}
 	s.Forwarded++
 	target := s.f.GPMs[owner]
+	req.Ref() // forward leg: transit plus the peer walk
 	s.f.Mesh.Send(from, target.Coord, xlat.ReqBytes, func() {
 		target.WalkForPeer(key(req), func(pte vm.PTE, found bool) {
+			defer req.Unref()
 			if found {
 				s.f.Respond(target.Coord, req, xlat.Result{PTE: pte, Source: xlat.SourceOwner})
 				return
 			}
 			s.Fallback++
-			s.f.Mesh.Send(target.Coord, s.f.Layout.CPU, xlat.ReqBytes, func() {
-				s.f.IOMMU.Submit(req, false)
-			})
+			s.f.ToIOMMU(target.Coord, req, false)
 		})
 	})
 }
@@ -149,11 +149,13 @@ func (s *Valkyrie) Translate(req *xlat.Request) {
 		nb := nb
 		target := s.f.At(nb)
 		s.Probes++
+		req.Ref() // probe leg: transit, L2 probe and possible miss response
 		s.f.Mesh.Send(from, nb, xlat.ReqBytes, func() {
 			target.ProbeL2TLB(key(req), func(pte vm.PTE, ok bool) {
 				if ok {
 					s.Hits++
 					s.f.Respond(nb, req, xlat.Result{PTE: pte, Source: xlat.SourceNeighbor})
+					req.Unref()
 					return
 				}
 				// Miss responses return to the requester; after the last
@@ -163,6 +165,7 @@ func (s *Valkyrie) Translate(req *xlat.Request) {
 					if misses == total && !req.Completed() {
 						s.f.ToIOMMU(from, req, false)
 					}
+					req.Unref()
 				})
 			})
 		})

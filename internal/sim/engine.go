@@ -1,14 +1,22 @@
 // Package sim provides the discrete-event simulation kernel used by every
 // other component of the wafer-scale GPU model.
 //
-// Time is measured in GPU cycles (VTime). The Engine maintains a binary heap
-// of scheduled events ordered by (time, sequence number); events scheduled
-// for the same cycle run in scheduling order, which makes every simulation
-// fully deterministic for a given input.
+// Time is measured in GPU cycles (VTime). The Engine maintains an inlined
+// 4-ary heap of typed events ordered by (time, sequence number); events
+// scheduled for the same cycle run in scheduling order, which makes every
+// simulation fully deterministic for a given input.
+//
+// Events come in two forms. The closure form (Schedule/At) is convenient
+// and right for cold paths and tests; it costs one closure allocation per
+// event at the call site. The typed form (Post/PostAt) carries a Handler —
+// typically a pooled, long-lived component or request object — plus a small
+// EventArg payload, and allocates nothing: hot components schedule millions
+// of events per simulated second, so the per-event closure was the kernel's
+// dominant allocation source (see docs/performance.md for the scheduling
+// rules).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -21,34 +29,66 @@ type VTime uint64
 // Infinity is a time later than any event a simulation will ever schedule.
 const Infinity VTime = math.MaxUint64
 
+// EventArg is the payload of a typed event: an optional pointer (usually a
+// pooled request or state-machine object) and two integer scratch words, so
+// common payloads (a cacheline address, a generation counter, a drop count)
+// need no allocation.
+type EventArg struct {
+	Ptr  any
+	A, B uint64
+}
+
+// Handler is the typed event form: Event is invoked at dispatch time with
+// the argument the event was posted with. Implementations are long-lived
+// components or pooled per-request objects, so posting a typed event
+// allocates nothing.
+type Handler interface {
+	Event(arg EventArg)
+}
+
+// funcEvent adapts a closure to Handler. Func values are pointer-shaped, so
+// the interface conversion itself does not allocate (the closure already
+// did, at its creation site).
+type funcEvent func()
+
+// Event implements Handler.
+func (f funcEvent) Event(EventArg) { f() }
+
+// event is one heap entry.
 type event struct {
 	time VTime
 	seq  uint64
-	fn   func()
+	h    Handler
+	arg  EventArg
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// before reports dispatch order: (time, seq) lexicographic. seq is unique,
+// so the order is total and any correct heap yields the same dispatch
+// sequence as the previous container/heap kernel.
+func (e event) before(o event) bool {
+	if e.time != o.time {
+		return e.time < o.time
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event        { return h[0] }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Heap geometry: a 4-ary heap halves tree depth versus binary, trading a
+// wider (branch-predictable, cache-resident) min-of-children scan for fewer
+// sift levels — the standard layout for event-driven simulators where pops
+// dominate.
+const (
+	heapArity = 4
+	// minHeapCap is the slice capacity below which the drained heap is
+	// never shrunk; release below this buys nothing.
+	minHeapCap = 64
+)
 
 // Engine is a single-threaded discrete-event scheduler.
 // The zero value is ready to use.
 type Engine struct {
 	now     VTime
 	seq     uint64
-	events  eventHeap
+	events  []event
 	stopped bool
 
 	// Processed counts events executed so far; useful for progress reporting
@@ -65,6 +105,70 @@ type Engine struct {
 	samplePeriod VTime
 	sampleNext   VTime
 	sampleFn     func(at VTime)
+}
+
+// pushEvent sifts ev up from the bottom of the heap.
+func (e *Engine) pushEvent(ev event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !ev.before(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	e.events = h
+}
+
+// popEvent removes and returns the earliest event, releasing surplus slice
+// capacity left over from a depth spike: once occupancy falls to a quarter
+// of capacity the backing array is reallocated at half size, so a burst
+// that briefly queued millions of events does not pin their storage for the
+// rest of the run. The shrink copies len elements at most every len pops,
+// keeping the amortized cost O(1).
+func (e *Engine) popEvent() event {
+	h := e.events
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release Handler/Ptr references
+	h = h[:n]
+	if n > 0 {
+		// Sift last down from the root.
+		i := 0
+		for {
+			c := i*heapArity + 1
+			if c >= n {
+				break
+			}
+			end := c + heapArity
+			if end > n {
+				end = n
+			}
+			best := c
+			for j := c + 1; j < end; j++ {
+				if h[j].before(h[best]) {
+					best = j
+				}
+			}
+			if !h[best].before(last) {
+				break
+			}
+			h[i] = h[best]
+			i = best
+		}
+		h[i] = last
+	}
+	if c := cap(h); c > minHeapCap && n <= c/4 {
+		shrunk := make([]event, n, c/2)
+		copy(shrunk, h)
+		h = shrunk
+	}
+	e.events = h
+	return root
 }
 
 // engineMetrics are the engine's registry series.
@@ -149,23 +253,42 @@ func (e *Engine) NextTime() (t VTime, ok bool) {
 	if len(e.events) == 0 {
 		return 0, false
 	}
-	return e.events.peek().time, true
+	return e.events[0].time, true
 }
 
 // Schedule runs fn after delay cycles (possibly zero, meaning later in the
-// current cycle, after already-scheduled same-cycle events).
+// current cycle, after already-scheduled same-cycle events). The closure
+// form: convenient, one allocation per event at the call site. Hot paths
+// use Post.
 func (e *Engine) Schedule(delay VTime, fn func()) {
-	e.At(e.now+delay, fn)
+	e.AtH(e.now+delay, funcEvent(fn), EventArg{})
 }
 
 // At runs fn at absolute time t. Scheduling in the past is a programming
 // error and panics, since it would silently corrupt causality.
 func (e *Engine) At(t VTime, fn func()) {
+	e.AtH(t, funcEvent(fn), EventArg{})
+}
+
+// Post runs h.Event(arg) after delay cycles: the typed, allocation-free
+// event form. Ordering is identical to Schedule — one shared sequence
+// counter covers both forms.
+func (e *Engine) Post(delay VTime, h Handler, arg EventArg) {
+	e.AtH(e.now+delay, h, arg)
+}
+
+// PostAt runs h.Event(arg) at absolute time t.
+func (e *Engine) PostAt(t VTime, h Handler, arg EventArg) {
+	e.AtH(t, h, arg)
+}
+
+// AtH is the single scheduling entry point both forms funnel through.
+func (e *Engine) AtH(t VTime, h Handler, arg EventArg) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	e.events.pushEvent(event{time: t, seq: e.seq, fn: fn})
+	e.pushEvent(event{time: t, seq: e.seq, h: h, arg: arg})
 }
 
 // Run executes events until the queue drains or Stop is called.
@@ -185,13 +308,13 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(limit VTime) {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
-		if e.events.peek().time > limit {
+		if e.events[0].time > limit {
 			if e.sampleFn != nil && limit != Infinity {
 				e.fireSamples(limit)
 			}
 			return
 		}
-		ev := e.events.popEvent()
+		ev := e.popEvent()
 		if e.sampleFn != nil {
 			e.fireSamples(ev.time)
 		}
@@ -200,7 +323,7 @@ func (e *Engine) RunUntil(limit VTime) {
 		if e.m != nil {
 			e.m.note(len(e.events))
 		}
-		ev.fn()
+		ev.h.Event(ev.arg)
 	}
 }
 
@@ -209,7 +332,7 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := e.events.popEvent()
+	ev := e.popEvent()
 	if e.sampleFn != nil {
 		e.fireSamples(ev.time)
 	}
@@ -218,7 +341,7 @@ func (e *Engine) Step() bool {
 	if e.m != nil {
 		e.m.note(len(e.events))
 	}
-	ev.fn()
+	ev.h.Event(ev.arg)
 	return true
 }
 

@@ -2,6 +2,20 @@ package tlb
 
 import "hdpat/internal/vm"
 
+// Filler receives an MSHR completion: the translation outcome for the key a
+// miss was registered under. Waiters are long-lived components or pooled
+// per-request state machines, so registering a miss allocates nothing —
+// this replaced the previous per-miss func(vm.PTE, bool) callback.
+type Filler interface {
+	Fill(pte vm.PTE, found bool)
+}
+
+// FillerFunc adapts a closure to Filler for cold paths and tests.
+type FillerFunc func(pte vm.PTE, found bool)
+
+// Fill implements Filler.
+func (f FillerFunc) Fill(pte vm.PTE, found bool) { f(pte, found) }
+
 // MSHR is a miss-status holding register file: it tracks outstanding misses
 // so that concurrent requests for the same page coalesce into one downstream
 // request, and it bounds miss-level parallelism — when all registers are
@@ -9,7 +23,7 @@ import "hdpat/internal/vm"
 // redirection table's advantage over an IOMMU-side TLB (§V-E, Fig 19).
 type MSHR struct {
 	cap     int
-	pending map[Key][]func(vm.PTE, bool)
+	pending map[Key][]Filler
 
 	// Stats
 	Allocated uint64
@@ -20,7 +34,7 @@ type MSHR struct {
 
 // NewMSHR creates a file with capacity registers.
 func NewMSHR(capacity int) *MSHR {
-	return &MSHR{cap: capacity, pending: make(map[Key][]func(vm.PTE, bool))}
+	return &MSHR{cap: capacity, pending: make(map[Key][]Filler)}
 }
 
 // Capacity returns the register count.
@@ -29,16 +43,16 @@ func (m *MSHR) Capacity() int { return m.cap }
 // Used returns the number of occupied registers.
 func (m *MSHR) Used() int { return len(m.pending) }
 
-// Allocate registers a miss on k with completion callback cb.
+// Allocate registers a miss on k waking w at completion.
 //
 //	primary=true  — a new register was allocated; the caller must issue the
 //	                downstream request and later call Complete.
-//	primary=false, ok=true — merged into an existing register; cb fires when
+//	primary=false, ok=true — merged into an existing register; w fills when
 //	                the primary completes, no downstream request needed.
 //	ok=false      — MSHR file full; the miss must stall and retry.
-func (m *MSHR) Allocate(k Key, cb func(vm.PTE, bool)) (primary, ok bool) {
-	if cbs, exists := m.pending[k]; exists {
-		m.pending[k] = append(cbs, cb)
+func (m *MSHR) Allocate(k Key, w Filler) (primary, ok bool) {
+	if ws, exists := m.pending[k]; exists {
+		m.pending[k] = append(ws, w)
 		m.Merged++
 		return false, true
 	}
@@ -46,7 +60,7 @@ func (m *MSHR) Allocate(k Key, cb func(vm.PTE, bool)) (primary, ok bool) {
 		m.Stalled++
 		return false, false
 	}
-	m.pending[k] = []func(vm.PTE, bool){cb}
+	m.pending[k] = []Filler{w}
 	m.Allocated++
 	if len(m.pending) > m.PeakUsed {
 		m.PeakUsed = len(m.pending)
@@ -54,15 +68,15 @@ func (m *MSHR) Allocate(k Key, cb func(vm.PTE, bool)) (primary, ok bool) {
 	return true, true
 }
 
-// Complete resolves the register for k, invoking every merged callback with
+// Complete resolves the register for k, filling every merged waiter with
 // the outcome. Unknown keys are ignored (the register may have been flushed).
 func (m *MSHR) Complete(k Key, pte vm.PTE, found bool) {
-	cbs := m.pending[k]
+	ws := m.pending[k]
 	delete(m.pending, k)
-	for _, cb := range cbs {
-		cb(pte, found)
+	for _, w := range ws {
+		w.Fill(pte, found)
 	}
 }
 
-// Waiters returns how many callbacks (primary + merged) wait on k.
+// Waiters returns how many fillers (primary + merged) wait on k.
 func (m *MSHR) Waiters(k Key) int { return len(m.pending[k]) }

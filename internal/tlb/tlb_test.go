@@ -152,7 +152,7 @@ func TestHitRate(t *testing.T) {
 func TestMSHRCoalesce(t *testing.T) {
 	m := NewMSHR(2)
 	var results []vm.PFN
-	cb := func(p vm.PTE, ok bool) { results = append(results, p.PFN) }
+	cb := FillerFunc(func(p vm.PTE, ok bool) { results = append(results, p.PFN) })
 	k := Key{VPN: 7}
 	primary, ok := m.Allocate(k, cb)
 	if !primary || !ok {
@@ -176,8 +176,8 @@ func TestMSHRCoalesce(t *testing.T) {
 
 func TestMSHRFullStalls(t *testing.T) {
 	m := NewMSHR(1)
-	m.Allocate(Key{VPN: 1}, func(vm.PTE, bool) {})
-	_, ok := m.Allocate(Key{VPN: 2}, func(vm.PTE, bool) {})
+	m.Allocate(Key{VPN: 1}, FillerFunc(func(vm.PTE, bool) {}))
+	_, ok := m.Allocate(Key{VPN: 2}, FillerFunc(func(vm.PTE, bool) {}))
 	if ok {
 		t.Fatal("allocation beyond capacity succeeded")
 	}
@@ -185,7 +185,7 @@ func TestMSHRFullStalls(t *testing.T) {
 		t.Errorf("Stalled = %d", m.Stalled)
 	}
 	// Same-key merge still works when full.
-	_, ok = m.Allocate(Key{VPN: 1}, func(vm.PTE, bool) {})
+	_, ok = m.Allocate(Key{VPN: 1}, FillerFunc(func(vm.PTE, bool) {}))
 	if !ok {
 		t.Fatal("merge rejected while full")
 	}

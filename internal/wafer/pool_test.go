@@ -1,0 +1,47 @@
+package wafer
+
+import (
+	"testing"
+
+	"hdpat/internal/xlat"
+)
+
+// TestPoolChecksEndToEnd runs every scheme with the released-request
+// tripwire armed: any leg touching a request after its last reference
+// unwound panics instead of silently corrupting a recycled object. The
+// schemes between them exercise the late-delivery paths the pooled lifetime
+// must keep safe — losing concurrent probes, the IOMMU's SkippedCompleted
+// walk skip, PW-queue revisits and redirection bounces.
+func TestPoolChecksEndToEnd(t *testing.T) {
+	xlat.SetPoolChecks(true)
+	defer xlat.SetPoolChecks(false)
+
+	revisits := uint64(0)
+	for _, scheme := range SchemeNames() {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			res := mustRun(t, scheme, "PR", 96)
+			var completed uint64
+			for _, s := range res.GPMStats {
+				completed += s.OpsCompleted
+			}
+			if completed != res.TotalOps {
+				t.Fatalf("%s completed %d of %d ops under pool checks", scheme, completed, res.TotalOps)
+			}
+			revisits += res.IOMMU.Revisits
+		})
+	}
+	// The tripwire only proves something if the racy paths actually ran.
+	if revisits == 0 {
+		t.Error("no scheme exercised the PW-queue revisit path")
+	}
+	// The SkippedCompleted skip — a queued IOMMU copy losing to a concurrent
+	// probe hit — needs warmed outer-layer caches; cluster on KM reliably
+	// produces it at this scale.
+	t.Run("skip-path", func(t *testing.T) {
+		res := mustRun(t, "cluster", "KM", 96)
+		if res.IOMMU.SkippedCompleted == 0 {
+			t.Error("run exercised no SkippedCompleted skips")
+		}
+	})
+}

@@ -148,6 +148,11 @@ type Result struct {
 
 	TotalOps uint64
 
+	// Events is the number of discrete events the kernel dispatched for
+	// this run — the denominator of events-per-second throughput
+	// reporting (see docs/performance.md).
+	Events uint64
+
 	// AuxLen and AuxStats aggregate the auxiliary caches across GPMs at the
 	// end of the run (diagnostics).
 	AuxLen   int
@@ -432,22 +437,20 @@ func RunContext(ctx context.Context, cfg config.System, opts Options) (Result, e
 		scheme = migrator.Wrap(scheme)
 	}
 
-	// Wire GPMs.
+	// Wire GPMs. The request pool is per run, shared across GPMs: sharing
+	// maximises reuse, and scoping it to the run keeps recycled objects
+	// away from parallel batch workers (a global pool would hand one
+	// worker's recycled request to another while stale readers remain).
 	var reqID uint64
 	nextID := func() uint64 { reqID++; return reqID }
+	reqPool := xlat.NewRequestPool()
+	fetch := &fetcher{mesh: network, gpms: gpms}
 	for _, g := range gpms {
-		g := g
 		g.Remote = scheme
 		g.NextReqID = nextID
 		g.Trace = tr
-		g.FetchRemote = func(owner int, line uint64, done func()) {
-			oc := gpms[owner].Coord
-			network.Send(g.Coord, oc, xlat.DataReqBytes, func() {
-				gpms[owner].ServeLine(line, func() {
-					network.Send(oc, g.Coord, xlat.DataRespBytes, done)
-				})
-			})
-		}
+		g.ReqPool = reqPool
+		g.Fetch = fetch
 	}
 
 	// Load traces and start.
@@ -487,6 +490,7 @@ func RunContext(ctx context.Context, cfg config.System, opts Options) (Result, e
 		IOMMU: io.Stats, NoC: network.Stats,
 		QueueSeries: io.QueueSeries, ServedSeries: served,
 		TotalOps:         totalOps,
+		Events:           eng.Processed,
 		ValidationErrors: validationErrs,
 	}
 	if migrator != nil {

@@ -5,6 +5,9 @@
 package xlat
 
 import (
+	"fmt"
+	"sync"
+
 	"hdpat/internal/sim"
 	"hdpat/internal/vm"
 )
@@ -78,6 +81,25 @@ type Result struct {
 // call wins; late responses (a concurrent layer probe losing the race, a
 // stale IOMMU response after a peer hit) are dropped, mirroring how the
 // requesting GMMU's MSHR entry is freed by the first fill.
+//
+// # Pooling lifetime
+//
+// Requests on the hot path come from a per-run RequestPool and recycle once
+// every in-flight leg has let go (docs/performance.md spells out the rules):
+//
+//   - The creator holds the first reference; each additional asynchronous
+//     leg that will later read request fields (a concentric probe chain, an
+//     in-flight mesh hop carrying the request, a pending IOMMU job) takes
+//     one with Ref and drops it with Unref when the leg ends.
+//   - Completion (Complete/CompleteIf) marks the request completed and
+//     advances the generation; it does NOT free. The object returns to the
+//     pool only when the last reference unwinds, so late legs — the
+//     SkippedCompleted walk skip, a losing probe, a stale poll — still read
+//     coherent fields.
+//   - Anything that may outlive the last reference must not touch the
+//     request at all: capture the generation with Gen at spawn time and
+//     finish through CompleteIf/CompletedFor, which a recycled object
+//     rejects by generation mismatch.
 type Request struct {
 	ID        uint64
 	PID       vm.PID
@@ -86,31 +108,143 @@ type Request struct {
 	Issued    sim.VTime
 
 	done      func(Result)
+	c         Completer
 	completed bool
 
 	// Attempt counts translation lookups performed on behalf of this
 	// request before resolution (peer probes, walk), for diagnostics.
 	Attempt int
+
+	pool     *RequestPool // nil for unpooled requests (NewRequest)
+	refs     int
+	gen      uint32
+	released bool
 }
 
-// NewRequest builds a request; done is invoked exactly once at completion.
+// Completer receives a pooled request's result. It is the typed counterpart
+// of the done closure: one long-lived implementation (the issuing GPM)
+// serves every request, so the completion path allocates nothing.
+type Completer interface {
+	RequestDone(req *Request, res Result)
+}
+
+// RequestPool recycles Request objects within one simulation run. Pools are
+// deliberately per-run, not global: a global pool would hand an object
+// recycled by one run to a parallel batch worker while a stale reader from
+// the first run still held the pointer.
+type RequestPool struct {
+	p sync.Pool
+}
+
+// NewRequestPool returns an empty pool.
+func NewRequestPool() *RequestPool {
+	return &RequestPool{p: sync.Pool{New: func() any { return new(Request) }}}
+}
+
+// Get leases a request for one translation. The caller (the issuing GPM)
+// holds the initial reference and drops it with Unref at the end of its
+// RequestDone.
+func (p *RequestPool) Get(id uint64, pid vm.PID, vpn vm.VPN, requester int, issued sim.VTime, c Completer) *Request {
+	r := p.p.Get().(*Request)
+	gen := r.gen // survives recycling; everything else is reset
+	*r = Request{ID: id, PID: pid, VPN: vpn, Requester: requester,
+		Issued: issued, c: c, pool: p, refs: 1, gen: gen}
+	return r
+}
+
+// poolChecks arms the released-request tripwire: with checks on, touching a
+// request after its last reference unwound panics instead of silently
+// corrupting a recycled object. Test builds switch it on via SetPoolChecks;
+// it costs one predictable branch per operation otherwise.
+var poolChecks bool
+
+// SetPoolChecks toggles released-request mutation panics (test builds).
+func SetPoolChecks(on bool) { poolChecks = on }
+
+// checkLive panics if the request was already released back to its pool.
+func (r *Request) checkLive(op string) {
+	if poolChecks && r.released {
+		panic(fmt.Sprintf("xlat: %s on released request (id=%d gen=%d)", op, r.ID, r.gen))
+	}
+}
+
+// NewRequest builds an unpooled request; done is invoked exactly once at
+// completion. The cold-path constructor: validation proxies and tests use
+// it, hot components lease from a RequestPool instead.
 func NewRequest(id uint64, pid vm.PID, vpn vm.VPN, requester int, issued sim.VTime, done func(Result)) *Request {
-	return &Request{ID: id, PID: pid, VPN: vpn, Requester: requester, Issued: issued, done: done}
+	return &Request{ID: id, PID: pid, VPN: vpn, Requester: requester, Issued: issued, done: done, refs: 1}
+}
+
+// Gen returns the request's generation, captured by legs that may outlive
+// the object (see CompleteIf).
+func (r *Request) Gen() uint32 { return r.gen }
+
+// Ref takes one reference on behalf of an asynchronous leg that will read
+// request fields later. Balance with Unref when the leg ends.
+func (r *Request) Ref() {
+	r.checkLive("Ref")
+	r.refs++
+}
+
+// Unref drops one reference. When the last one unwinds the generation
+// advances (invalidating every outstanding CompleteIf/CompletedFor token)
+// and the object returns to its pool.
+func (r *Request) Unref() {
+	r.checkLive("Unref")
+	r.refs--
+	if r.refs > 0 {
+		return
+	}
+	if r.refs < 0 {
+		panic(fmt.Sprintf("xlat: Unref underflow (id=%d)", r.ID))
+	}
+	r.gen++
+	r.released = true
+	if r.pool != nil {
+		r.pool.p.Put(r)
+	}
 }
 
 // Complete delivers the result; only the first call has effect.
 // It reports whether this call was the winning one.
 func (r *Request) Complete(res Result) bool {
+	r.checkLive("Complete")
 	if r.completed {
 		return false
 	}
 	r.completed = true
-	r.done(res)
+	if r.c != nil {
+		r.c.RequestDone(r, res)
+	} else {
+		r.done(res)
+	}
 	return true
 }
 
-// Completed reports whether a result was already delivered.
-func (r *Request) Completed() bool { return r.completed }
+// CompleteIf is Complete for legs that hold no reference: gen was captured
+// while the request was provably live, and a mismatch means the object was
+// recycled (or the leg's request completed and the pointer now belongs to a
+// different translation) — the delivery is dropped, exactly like a losing
+// Complete race.
+func (r *Request) CompleteIf(gen uint32, res Result) bool {
+	if gen != r.gen || r.completed {
+		return false
+	}
+	return r.Complete(res)
+}
+
+// Completed reports whether a result was already delivered. Only holders of
+// a reference may call it; reference-free legs use CompletedFor.
+func (r *Request) Completed() bool {
+	r.checkLive("Completed")
+	return r.completed
+}
+
+// CompletedFor reports whether the translation identified by gen is over —
+// either completed, or recycled out from under a reference-free observer.
+func (r *Request) CompletedFor(gen uint32) bool {
+	return gen != r.gen || r.completed
+}
 
 // RemoteTranslator is a translation scheme: the strategy a GPM invokes when
 // a virtual page cannot be translated locally. Implementations are the
