@@ -38,13 +38,16 @@ check: vet staticcheck race
 # Invariant conformance gate: run every scheme x benchmark pair — at the
 # Table I configuration and across randomized small wafers — under the
 # simulation invariant checker (hdpat.WithInvariants), plus the
-# serial-vs-parallel determinism cross-check. The ops/rand budget bounds the
-# run to about a minute; raise INV_OPS locally for a deeper sweep. See
-# docs/invariants.md for the invariant catalogue.
+# serial-vs-parallel determinism cross-check and the domain-sharded kernel's
+# serial-equivalence case (INV_DOMAINS shards; 1 skips it). The ops/rand
+# budget bounds the run to about a minute; raise INV_OPS locally for a
+# deeper sweep. See docs/invariants.md for the invariant catalogue.
 INV_OPS ?= 2
 INV_RAND ?= 2
+INV_DOMAINS ?= 4
+INV_FLAGS ?=
 verify-invariants:
-	$(GO) run ./cmd/verifyinv -ops $(INV_OPS) -rand $(INV_RAND)
+	$(GO) run ./cmd/verifyinv -ops $(INV_OPS) -rand $(INV_RAND) -domains $(INV_DOMAINS) $(INV_FLAGS)
 
 # Machine-readable benchmark run: the batch-engine benchmarks (override
 # with BENCH=...) with allocation stats, teed to results/bench.txt and

@@ -12,17 +12,18 @@ import (
 )
 
 // runCompareHot executes one baseline-vs-scheme comparison per iteration on
-// the Table I wafer and reports kernel throughput alongside the standard
+// the given wafer and reports kernel throughput alongside the standard
 // allocation metrics.
-func runCompareHot(b *testing.B, scheme, bench string) {
+func runCompareHot(b *testing.B, cfg hdpat.Config, scheme, bench string, extra ...hdpat.Option) {
 	b.Helper()
-	cfg := hdpat.DefaultConfig()
+	opts := append([]hdpat.Option{
+		hdpat.WithOpsBudget(32), hdpat.WithSeed(3), hdpat.WithWorkers(1),
+	}, extra...)
 	b.ReportAllocs()
 	var events uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cmp, err := hdpat.Compare(cfg, scheme, bench,
-			hdpat.WithOpsBudget(32), hdpat.WithSeed(3), hdpat.WithWorkers(1))
+		cmp, err := hdpat.Compare(cfg, scheme, bench, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -37,9 +38,34 @@ func runCompareHot(b *testing.B, scheme, bench string) {
 // BenchmarkCompareHDPAT is the canonical hot path: the full scheme against
 // the baseline, exercising GPM translation, the IOMMU walk/redirect/revisit
 // machinery, concentric probes and every NoC hop in between.
-func BenchmarkCompareHDPAT(b *testing.B) { runCompareHot(b, "hdpat", "PR") }
+func BenchmarkCompareHDPAT(b *testing.B) {
+	runCompareHot(b, hdpat.DefaultConfig(), "hdpat", "PR")
+}
 
 // BenchmarkCompareBaseline isolates the naive path: every remote
 // translation walks at the IOMMU, so the kernel and request pooling
 // dominate; scheme-side probe traffic is absent.
-func BenchmarkCompareBaseline(b *testing.B) { runCompareHot(b, "baseline", "SPMV") }
+func BenchmarkCompareBaseline(b *testing.B) {
+	runCompareHot(b, hdpat.DefaultConfig(), "baseline", "SPMV")
+}
+
+// BenchmarkCompareHDPATD4 is the same comparison through the domain-sharded
+// kernel (WithDomains(4)): identical results, with the window/barrier
+// machinery and pooled (sync.Pool) request path in the loop. Against
+// BenchmarkCompareHDPAT it measures the sharding speedup — or, on a
+// single-CPU runner, the pure protocol overhead (see docs/performance.md,
+// "Domain decomposition").
+func BenchmarkCompareHDPATD4(b *testing.B) {
+	runCompareHot(b, hdpat.DefaultConfig(), "hdpat", "PR", hdpat.WithDomains(4))
+}
+
+// BenchmarkCompareHDPAT7x12 and its D4 twin repeat the comparison on the
+// enlarged Fig 22 wafer, where windows are denser and domains better fed —
+// the geometry sharding targets.
+func BenchmarkCompareHDPAT7x12(b *testing.B) {
+	runCompareHot(b, hdpat.Wafer7x12Config(), "hdpat", "PR")
+}
+
+func BenchmarkCompareHDPAT7x12D4(b *testing.B) {
+	runCompareHot(b, hdpat.Wafer7x12Config(), "hdpat", "PR", hdpat.WithDomains(4))
+}

@@ -8,10 +8,12 @@
 //
 // Usage:
 //
-//	verifyinv [-ops N] [-seed N] [-rand N] [-workers N] [-skip-default] [-v]
+//	verifyinv [-ops N] [-seed N] [-rand N] [-workers N] [-domains N] [-skip-default] [-v]
 //
 // -ops bounds the per-CU operation budget (the knob CI uses to bound run
-// time); -rand sets how many randomized configurations to sweep.
+// time); -rand sets how many randomized configurations to sweep; -domains
+// sets the shard count of the domain-sharded determinism case (1 disables
+// it).
 package main
 
 import (
@@ -31,11 +33,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "base simulation seed")
 	randConfigs := flag.Int("rand", 3, "number of randomized small configurations to sweep")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	domains := flag.Int("domains", 4, "shard count for the domain-sharded determinism case (1 = skip)")
 	skipDefault := flag.Bool("skip-default", false, "skip the Table I default-configuration matrix")
 	verbose := flag.Bool("v", false, "log every run")
 	flag.Parse()
 
-	h := &harness{ops: *ops, seed: *seed, workers: *workers, verbose: *verbose}
+	h := &harness{ops: *ops, seed: *seed, workers: *workers, domains: *domains, verbose: *verbose}
 
 	if !*skipDefault {
 		h.matrix("default (Table I)", hdpat.DefaultConfig(), hdpat.Benchmarks())
@@ -50,6 +53,7 @@ func main() {
 		h.matrix(desc, cfg, benches[:3])
 	}
 	h.determinism()
+	h.sharding()
 
 	if h.failures > 0 {
 		fmt.Fprintf(os.Stderr, "verifyinv: %d failure(s) across %d runs\n", h.failures, h.runs)
@@ -62,6 +66,7 @@ type harness struct {
 	ops      int
 	seed     int64
 	workers  int
+	domains  int
 	verbose  bool
 	runs     int
 	failures int
@@ -132,6 +137,45 @@ func (h *harness) determinism() {
 			fmt.Fprintf(os.Stderr, "FAIL determinism: %s/%s differs between serial and parallel\n",
 				serial[i].Spec.Scheme, serial[i].Spec.Benchmark)
 			h.failures++
+		}
+	}
+}
+
+// sharding verifies the domain-sharded kernel (hdpat.WithDomains) against
+// the serial kernel: every scheme runs once serially — under the invariant
+// checker, which must stay green — and once sharded; the two Results must be
+// byte-identical. Schemes the sharded path cannot split fall back to serial
+// internally, so the equality check covers the fallback too.
+func (h *harness) sharding() {
+	if h.domains == 1 {
+		return
+	}
+	cfg := hdpat.DefaultConfig()
+	for _, scheme := range hdpat.Schemes() {
+		h.runs += 2
+		spec := hdpat.RunSpec{Scheme: scheme, Benchmark: "SPMV", OpsBudget: h.ops, Seed: h.seed}
+		serial, err := hdpat.Simulate(cfg, spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL sharding %s: serial: %v\n", scheme, err)
+			h.failures++
+			continue
+		}
+		if _, err := hdpat.Simulate(cfg, spec, hdpat.WithInvariants()); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL sharding %s: invariants: %v\n", scheme, err)
+			h.failures++
+			continue
+		}
+		sharded, err := hdpat.Simulate(cfg, spec, hdpat.WithDomains(h.domains))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL sharding %s: domains=%d: %v\n", scheme, h.domains, err)
+			h.failures++
+			continue
+		}
+		if !reflect.DeepEqual(serial, sharded) {
+			fmt.Fprintf(os.Stderr, "FAIL sharding %s: domains=%d result differs from serial\n", scheme, h.domains)
+			h.failures++
+		} else if h.verbose {
+			fmt.Printf("ok   sharding %s domains=%d (%d cycles)\n", scheme, h.domains, sharded.Cycles)
 		}
 	}
 }

@@ -42,6 +42,7 @@ package hdpat
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"hdpat/internal/attr"
 	"hdpat/internal/check"
@@ -199,16 +200,23 @@ func simulate(ctx context.Context, cfg Config, spec RunSpec, rc *runConfig) (Res
 		f(&cfg.IOMMU)
 	}
 	wopts := wafer.Options{
-		Scheme:    spec.Scheme,
-		Benchmark: b,
-		OpsBudget: spec.OpsBudget,
-		Seed:      spec.Seed,
+		Scheme:     spec.Scheme,
+		Benchmark:  b,
+		OpsBudget:  spec.OpsBudget,
+		Seed:       spec.Seed,
 		MaxCycles:  sim.VTime(rc.maxCycles),
 		Metrics:    rc.metrics,
 		Invariants: rc.invariants,
 	}
 	if rc.attribution {
 		wopts.Attribution = &attr.Config{}
+	}
+	if rc.domains != nil {
+		n := *rc.domains
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		wopts.Domains = n
 	}
 	var owned *trace.Tracer
 	if rc.tracer != nil {

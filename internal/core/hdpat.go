@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"hdpat/internal/config"
 	"hdpat/internal/geom"
 	"hdpat/internal/vm"
@@ -18,7 +20,9 @@ type HDPAT struct {
 	cfg    config.HDPAT
 	layers *geom.Layers
 
-	// Stats
+	// Stats. Incremented atomically: in a domain-sharded run the probe,
+	// hit, redirect and escalation legs of one request execute on different
+	// domains' engines.
 	Probes     uint64
 	ProbeHits  uint64
 	ToIOMMU    uint64
@@ -73,18 +77,18 @@ func (s *HDPAT) probeLayer(req *xlat.Request, l int, sequential bool) {
 		// Inward forwarding: the request is at the previous layer's GPM.
 		from = s.layers.Home(l+1, uint64(req.VPN))
 	}
-	s.Probes++
+	atomic.AddUint64(&s.Probes, 1)
 	req.Ref() // probe leg: transit plus aux-probe callback
 	s.f.Mesh.Send(from, home, xlat.ReqBytes, func() {
 		target.ProbeAux(keyOf(req), s.cfg.AuxProbeLatency, func(pte vm.PTE, origin xlat.PushOrigin, ok bool) {
 			defer req.Unref()
 			if ok {
-				s.ProbeHits++
+				atomic.AddUint64(&s.ProbeHits, 1)
 				s.f.Respond(home, req, xlat.Result{PTE: pte, Source: origin.SourceOf()})
 				return
 			}
 			if l == 0 {
-				s.ToIOMMU++
+				atomic.AddUint64(&s.ToIOMMU, 1)
 				s.f.ToIOMMU(home, req, false)
 				return
 			}
@@ -98,7 +102,7 @@ func (s *HDPAT) probeLayer(req *xlat.Request, l int, sequential bool) {
 }
 
 func (s *HDPAT) sendToIOMMU(req *xlat.Request) {
-	s.ToIOMMU++
+	atomic.AddUint64(&s.ToIOMMU, 1)
 	s.f.ToIOMMU(s.f.CoordOf(req.Requester), req, false)
 }
 
@@ -141,12 +145,12 @@ func (s *HDPAT) redirect(req *xlat.Request, gpmID int) {
 	s.f.Mesh.Send(cpu, target.Coord, xlat.ReqBytes, func() {
 		target.ProbeAux(keyOf(req), s.cfg.AuxProbeLatency, func(pte vm.PTE, _ xlat.PushOrigin, ok bool) {
 			if ok {
-				s.RedirectOK++
+				atomic.AddUint64(&s.RedirectOK, 1)
 				s.f.Respond(target.Coord, req, xlat.Result{PTE: pte, Source: xlat.SourceRedirect})
 				req.Unref()
 				return
 			}
-			s.RedirectNo++
+			atomic.AddUint64(&s.RedirectNo, 1)
 			s.f.Mesh.Send(target.Coord, cpu, xlat.ReqBytes, func() {
 				if rt := s.f.IOMMU.RT(); rt != nil {
 					rt.Remove(keyOf(req))

@@ -50,6 +50,14 @@ type Mesh struct {
 	links []([4]*link)
 	Stats Stats
 
+	// Sharded mode (Shard): per-tile domain map, per-domain engines and
+	// per-domain stats shards. A hop's link state is only ever touched by the
+	// domain owning the hop's source tile, so links need no synchronisation;
+	// stats are sharded the same way and folded by MergeStats.
+	engs  []*sim.Engine
+	dom   []int32
+	stats []Stats
+
 	// Trace, when non-nil, receives one span per link traversal.
 	Trace *trace.Tracer
 
@@ -125,6 +133,45 @@ func (m *Mesh) FlushMetrics() {
 	m.reg.Gauge("noc.links.busy_total").Set(int64(total))
 }
 
+// Shard switches the mesh into domain-sharded mode: dom maps each tile ID
+// to its domain and engs holds one engine per domain. Every message step
+// then executes on the engine owning its current tile, handing off at
+// domain boundaries through sim.Engine.CrossAt — the mesh is the single
+// seam all cross-domain traffic rides, and its HopLatency is the
+// coordinator's lookahead.
+func (m *Mesh) Shard(engs []*sim.Engine, dom []int32) {
+	if len(dom) != m.layout.NumTiles() {
+		panic("noc: domain map length does not match tile count")
+	}
+	m.engs = engs
+	m.dom = dom
+	m.stats = make([]Stats, len(engs))
+}
+
+// engFor returns the engine owning tile id.
+func (m *Mesh) engFor(id int) *sim.Engine {
+	if m.dom == nil {
+		return m.eng
+	}
+	return m.engs[m.dom[id]]
+}
+
+// MergeStats folds the per-domain stats shards of a sharded run into
+// m.Stats and returns it; on a serial mesh it just returns m.Stats.
+func (m *Mesh) MergeStats() Stats {
+	for i := range m.stats {
+		s := &m.stats[i]
+		m.Stats.Messages += s.Messages
+		m.Stats.ByteHops += s.ByteHops
+		m.Stats.HopsTotal += s.HopsTotal
+		if s.MaxHops > m.Stats.MaxHops {
+			m.Stats.MaxHops = s.MaxHops
+		}
+		*s = Stats{}
+	}
+	return m.Stats
+}
+
 // Layout returns the wafer geometry the mesh routes over.
 func (m *Mesh) Layout() *geom.Mesh { return m.layout }
 
@@ -198,7 +245,8 @@ func (t *transfer) Event(sim.EventArg) {
 func (t *transfer) step() {
 	m := t.m
 	next := nextHop(t.cur, t.dst)
-	l := m.links[m.layout.NodeID(t.cur)][dirOf(t.cur, next)]
+	curID := m.layout.NodeID(t.cur)
+	l := m.links[curID][dirOf(t.cur, next)]
 	// Serialisation: accumulate fractional cycles so small messages still
 	// consume bandwidth in aggregate.
 	l.debt += float64(t.size) / m.cfg.BytesPerCycle
@@ -208,25 +256,37 @@ func (t *transfer) step() {
 		l.debt -= float64(whole)
 		hold = whole
 	}
-	now := m.eng.Now()
+	eng := m.engFor(curID)
+	now := eng.Now()
 	_, end := l.line.Occupy(now, hold)
 	arrive := end + m.cfg.HopLatency
 	if m.Trace != nil {
 		m.Trace.HopSpan(uint64(now), uint64(arrive), t.cur.X, t.cur.Y, next.X, next.Y, t.size)
 	}
 	t.cur = next
-	m.eng.PostAt(arrive, t, sim.EventArg{})
+	if m.dom == nil {
+		eng.PostAt(arrive, t, sim.EventArg{})
+		return
+	}
+	// arrive = end + HopLatency >= now + HopLatency >= windowEnd, so the
+	// hand-off always satisfies the lookahead contract.
+	eng.CrossAt(int(m.dom[m.layout.NodeID(next)]), arrive, t, sim.EventArg{})
 }
 
 // send is the single entry point behind both delivery forms.
 func (m *Mesh) send(src, dst geom.Coord, size int, h sim.Handler, arg sim.EventArg, deliver func()) {
-	m.Stats.Messages++
-	hops := src.Manhattan(dst) // == len(XYPath): one link per unit distance
-	if hops > m.Stats.MaxHops {
-		m.Stats.MaxHops = hops
+	st, eng := &m.Stats, m.eng
+	if m.dom != nil {
+		d := m.dom[m.layout.NodeID(src)]
+		st, eng = &m.stats[d], m.engs[d]
 	}
-	m.Stats.HopsTotal += uint64(hops)
-	m.Stats.ByteHops += uint64(size) * uint64(hops)
+	st.Messages++
+	hops := src.Manhattan(dst) // == len(XYPath): one link per unit distance
+	if hops > st.MaxHops {
+		st.MaxHops = hops
+	}
+	st.HopsTotal += uint64(hops)
+	st.ByteHops += uint64(size) * uint64(hops)
 	if m.m != nil {
 		m.m.messages.Inc()
 		m.m.byteHops.Add(uint64(size) * uint64(hops))
@@ -234,9 +294,9 @@ func (m *Mesh) send(src, dst geom.Coord, size int, h sim.Handler, arg sim.EventA
 	}
 	if hops == 0 {
 		if h != nil {
-			m.eng.Post(1, h, arg)
+			eng.Post(1, h, arg)
 		} else {
-			m.eng.Schedule(1, deliver)
+			eng.Schedule(1, deliver)
 		}
 		return
 	}

@@ -7,6 +7,8 @@
 package schemes
 
 import (
+	"sync/atomic"
+
 	"hdpat/internal/core"
 	"hdpat/internal/geom"
 	"hdpat/internal/tlb"
@@ -77,6 +79,8 @@ func (s *TransFW) Name() string { return "transfw" }
 type OwnerFW struct {
 	f *Fabric
 
+	// Stats, incremented atomically: legs of concurrent requests run on
+	// different domains' engines in a sharded run.
 	Forwarded uint64
 	Fallback  uint64
 }
@@ -93,11 +97,11 @@ func (s *OwnerFW) Translate(req *xlat.Request) {
 	from := s.f.CoordOf(req.Requester)
 	if !ok || owner == req.Requester {
 		// Unmapped or supposedly-local page: let the IOMMU sort it out.
-		s.Fallback++
+		atomic.AddUint64(&s.Fallback, 1)
 		s.f.ToIOMMU(from, req, false)
 		return
 	}
-	s.Forwarded++
+	atomic.AddUint64(&s.Forwarded, 1)
 	target := s.f.GPMs[owner]
 	req.Ref() // forward leg: transit plus the peer walk
 	s.f.Mesh.Send(from, target.Coord, xlat.ReqBytes, func() {
@@ -107,7 +111,7 @@ func (s *OwnerFW) Translate(req *xlat.Request) {
 				s.f.Respond(target.Coord, req, xlat.Result{PTE: pte, Source: xlat.SourceOwner})
 				return
 			}
-			s.Fallback++
+			atomic.AddUint64(&s.Fallback, 1)
 			s.f.ToIOMMU(target.Coord, req, false)
 		})
 	})
@@ -119,6 +123,8 @@ func (s *OwnerFW) Translate(req *xlat.Request) {
 type Valkyrie struct {
 	f *Fabric
 
+	// Stats, incremented atomically: probe legs of concurrent requests run
+	// on different domains' engines in a sharded run.
 	Probes uint64
 	Hits   uint64
 }
@@ -148,12 +154,12 @@ func (s *Valkyrie) Translate(req *xlat.Request) {
 	for _, nb := range neighbours {
 		nb := nb
 		target := s.f.At(nb)
-		s.Probes++
+		atomic.AddUint64(&s.Probes, 1)
 		req.Ref() // probe leg: transit, L2 probe and possible miss response
 		s.f.Mesh.Send(from, nb, xlat.ReqBytes, func() {
 			target.ProbeL2TLB(key(req), func(pte vm.PTE, ok bool) {
 				if ok {
-					s.Hits++
+					atomic.AddUint64(&s.Hits, 1)
 					s.f.Respond(nb, req, xlat.Result{PTE: pte, Source: xlat.SourceNeighbor})
 					req.Unref()
 					return

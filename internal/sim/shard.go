@@ -1,0 +1,402 @@
+// Domain sharding: one simulation split across several Engines running on
+// parallel goroutines under a conservative window protocol.
+//
+// The wafer is partitioned into spatial domains, each with its own Engine.
+// Every cross-domain interaction rides a mesh link and therefore arrives at
+// least one hop latency L in the future, so events inside a window
+// [T, T+L) cannot affect another domain within the same window: domains
+// execute their windows concurrently and exchange boundary-crossing events
+// at a barrier.
+//
+// Determinism is bit-exact with a serial run. A serial Engine orders
+// same-cycle events by a single sequence counter, and scheduling calls from
+// different domains interleave on it, so a sharded run cannot know its
+// global sequence numbers while a window executes. Instead each engine runs
+// its window with private sequence numbers while logging every dispatch
+// (dispRec) and the destination of every scheduling call it makes
+// (cross-domain payloads parked in defers). Dispatch within a domain is in
+// (time, seq) order, so each domain's log is sorted and the barrier
+// recovers the global dispatch order — the order the serial kernel would
+// have dispatched — with a K-way merge of the logs, assigning one global
+// sequence number per scheduling call as it goes. Within a domain the
+// assignment is order-preserving, so surviving heap entries are re-keyed in
+// place (heap shape untouched), and cross-domain events are injected with
+// their exact serial keys. By induction over windows, every domain
+// dispatches exactly the serial run's restriction to that domain, in the
+// same order, at the same times.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// dispRec records one event dispatched during a window: its time, the
+// sequence number it was dispatched under (global for events keyed before
+// the window, engine-local for events scheduled inside it), and how many
+// scheduling calls its handler made.
+type dispRec struct {
+	t   VTime
+	seq uint64
+	n   int32
+}
+
+// shardState is the per-engine side of a Domains coordinator: the window
+// bound, the window's dispatch/call logs, and the barrier's working state.
+type shardState struct {
+	d   *Domains
+	dom int32
+
+	// windowEnd bounds the current window; cross-domain posts below it are
+	// lookahead violations.
+	windowEnd VTime
+	// seqBase is the global sequence counter at the window start; local
+	// sequence numbers above it belong to this window and are re-keyed at
+	// the barrier.
+	seqBase uint64
+
+	disp   []dispRec
+	calls  []int32 // destination domain per scheduling call; -1 = same-domain
+	defers []event // cross-domain payloads, in cross-call order
+
+	// Barrier working state: replay cursors, the global numbers assigned to
+	// this window's same-domain calls (in call order), and events other
+	// domains posted here.
+	di, ci, fi int
+	liveG      []uint64
+	inj        []event
+}
+
+// translate maps a dispatch-log sequence number to its global key: window-
+// local numbers were assigned their global keys when the merge consumed the
+// scheduling call that created them (always before the event's own record —
+// an event is scheduled before it is dispatched), older numbers already are
+// global.
+func (sh *shardState) translate(seq uint64) uint64 {
+	if seq > sh.seqBase {
+		return sh.liveG[seq-sh.seqBase-1]
+	}
+	return seq
+}
+
+// schedule is the sharded arm of Engine.AtH.
+func (sh *shardState) schedule(e *Engine, t VTime, h Handler, arg EventArg) {
+	d := sh.d
+	if d.setup {
+		// Single-threaded construction: engines share the global counter
+		// directly, so setup-scheduled events carry final serial keys.
+		d.g++
+		e.pushEvent(event{time: t, seq: d.g, h: h, arg: arg})
+		return
+	}
+	sh.calls = append(sh.calls, -1)
+	e.seq++
+	e.pushEvent(event{time: t, seq: e.seq, h: h, arg: arg})
+}
+
+// CrossAt schedules h.Event(arg) at absolute time t on domain dom's engine.
+// On a serial engine (or during construction) it degenerates to AtH; during
+// a parallel window it must target a time at or beyond the window end — the
+// conservative lookahead contract — and panics otherwise, since a closer
+// event could race a window the destination already executed.
+func (e *Engine) CrossAt(dom int, t VTime, h Handler, arg EventArg) {
+	sh := e.sh
+	if sh == nil {
+		e.AtH(t, h, arg)
+		return
+	}
+	d := sh.d
+	if d.setup {
+		d.engs[dom].AtH(t, h, arg)
+		return
+	}
+	if int32(dom) == sh.dom {
+		e.AtH(t, h, arg)
+		return
+	}
+	if t < sh.windowEnd {
+		panic(fmt.Sprintf("sim: cross-domain event at %d inside window ending %d violates lookahead", t, sh.windowEnd))
+	}
+	sh.calls = append(sh.calls, int32(dom))
+	sh.defers = append(sh.defers, event{time: t, h: h, arg: arg})
+}
+
+// runWindow executes events with time <= limit, logging each dispatch and
+// its scheduling calls for the barrier replay. Samplers, metrics and Stop
+// are not supported here: sharded runs reject every observer up front.
+func (e *Engine) runWindow(limit VTime) {
+	sh := e.sh
+	for len(e.events) > 0 && e.events[0].time <= limit {
+		ev := e.popEvent()
+		e.now = ev.time
+		e.Processed++
+		n0 := len(sh.calls)
+		ev.h.Event(ev.arg)
+		sh.disp = append(sh.disp, dispRec{t: ev.time, seq: ev.seq, n: int32(len(sh.calls) - n0)})
+	}
+}
+
+// mergeHead is one domain's cursor in the barrier's K-way merge: the
+// translated global key of its next unconsumed dispatch record.
+type mergeHead struct {
+	t  VTime
+	g  uint64
+	ok bool
+}
+
+// Domains coordinates one simulation sharded across n Engines. Build the
+// system against the per-domain engines (construction runs in setup mode,
+// where scheduling is single-threaded and sequence numbers are shared),
+// then Run executes windows of one lookahead each in parallel.
+type Domains struct {
+	engs      []*Engine
+	lookahead VTime
+	setup     bool
+
+	g     uint64      // global sequence counter (serial numbering)
+	heads []mergeHead // barrier merge cursors, one per domain
+	round uint64      // 1-based window counter
+	// lastWin is the event count of the previous window: the spawn
+	// heuristic's load estimate (event density changes slowly relative to
+	// one lookahead).
+	lastWin int
+
+	// OnWindow, when set, is called before each window with its 1-based
+	// index; hazard detectors key their epochs to it.
+	OnWindow func(round uint64)
+
+	wg sync.WaitGroup
+}
+
+// NewDomains returns a coordinator with n fresh engines in setup mode.
+// lookahead is the conservative window length: the minimum cross-domain
+// event distance the model guarantees (the NoC hop latency).
+func NewDomains(n int, lookahead VTime) *Domains {
+	if n < 1 || lookahead == 0 {
+		panic("sim: NewDomains needs n >= 1 and a nonzero lookahead")
+	}
+	d := &Domains{lookahead: lookahead, setup: true,
+		engs: make([]*Engine, n), heads: make([]mergeHead, n)}
+	for i := range d.engs {
+		e := NewEngine()
+		e.sh = &shardState{d: d, dom: int32(i)}
+		d.engs[i] = e
+	}
+	return d
+}
+
+// N returns the domain count.
+func (d *Domains) N() int { return len(d.engs) }
+
+// Engine returns domain i's engine.
+func (d *Domains) Engine(i int) *Engine { return d.engs[i] }
+
+// Engines returns the per-domain engines, indexed by domain.
+func (d *Domains) Engines() []*Engine { return d.engs }
+
+// Processed sums dispatched events across domains — equal to the serial
+// run's single-engine count.
+func (d *Domains) Processed() uint64 {
+	var n uint64
+	for _, e := range d.engs {
+		n += e.Processed
+	}
+	return n
+}
+
+// Rounds returns how many parallel windows have run.
+func (d *Domains) Rounds() uint64 { return d.round }
+
+// Seal ends setup mode. Idempotent; Run calls it implicitly.
+func (d *Domains) Seal() {
+	if !d.setup {
+		return
+	}
+	d.setup = false
+	for _, e := range d.engs {
+		e.seq = d.g
+		e.sh.seqBase = d.g
+	}
+}
+
+// Run executes events with time <= limit across all domains, one lookahead
+// window at a time, checking ctx between windows. Like Engine.RunUntil,
+// events beyond limit stay queued for a later Run.
+func (d *Domains) Run(ctx context.Context, limit VTime) error {
+	d.Seal()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t, any := Infinity, false
+		for _, e := range d.engs {
+			if nt, ok := e.NextTime(); ok {
+				any = true
+				if nt < t {
+					t = nt
+				}
+			}
+		}
+		if !any || t > limit {
+			return nil
+		}
+		end := t + d.lookahead
+		if end < t {
+			end = Infinity // overflow: one unbounded final window
+		}
+		if limit != Infinity && end > limit+1 {
+			end = limit + 1 // run events at limit itself, none beyond
+		}
+		d.window(end)
+		d.barrier()
+	}
+}
+
+// spawnThreshold is the previous-window event count below which window runs
+// every domain inline instead of spawning goroutines: a sparse window holds
+// a few microseconds of work per domain, less than the cost of waking a
+// goroutine on another core, so fine-grained phases execute serially (still
+// logged and replayed identically) and only dense phases pay for — and
+// profit from — real parallelism.
+const spawnThreshold = 256
+
+// window runs [.., end) on every domain with work due, in parallel when the
+// load estimate justifies goroutine handoff.
+func (d *Domains) window(end VTime) {
+	d.round++
+	if d.OnWindow != nil {
+		d.OnWindow(d.round)
+	}
+	if d.lastWin < spawnThreshold {
+		for _, e := range d.engs {
+			if t, ok := e.NextTime(); ok && t < end {
+				e.sh.windowEnd = end
+				e.runWindow(end - 1)
+			}
+		}
+		return
+	}
+	var first *Engine
+	for _, e := range d.engs {
+		if t, ok := e.NextTime(); !ok || t >= end {
+			continue
+		}
+		e.sh.windowEnd = end
+		if first == nil {
+			first = e
+			continue
+		}
+		d.wg.Add(1)
+		go func(e *Engine) {
+			defer d.wg.Done()
+			e.runWindow(end - 1)
+		}(e)
+	}
+	if first != nil {
+		first.runWindow(end - 1) // run one domain on this goroutine
+	}
+	d.wg.Wait()
+}
+
+// barrier replays the window's dispatches in global (time, seq) order by
+// K-way merging the per-domain logs (each already sorted — domains dispatch
+// in key order), assigning serial sequence numbers to every scheduling
+// call, then re-keys each domain's surviving events and injects
+// cross-domain ones. The merge scans the <=K heads linearly per step:
+// domain counts are small, so the scan beats a heap.
+func (d *Domains) barrier() {
+	total := 0
+	for i, e := range d.engs {
+		sh := e.sh
+		total += len(sh.disp)
+		if len(sh.disp) > 0 {
+			r := sh.disp[0]
+			d.heads[i] = mergeHead{t: r.t, g: sh.translate(r.seq), ok: true}
+		} else {
+			d.heads[i].ok = false
+		}
+	}
+	d.lastWin = total
+	var lastT VTime
+	var lastG uint64
+	first := true
+	for {
+		best := -1
+		for i := range d.heads {
+			h := &d.heads[i]
+			if !h.ok {
+				continue
+			}
+			if best < 0 || h.t < d.heads[best].t ||
+				(h.t == d.heads[best].t && h.g < d.heads[best].g) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		bh := d.heads[best]
+		// The merged key sequence must be strictly increasing; anything else
+		// means a domain's log contradicts the global order.
+		if !first && (bh.t < lastT || (bh.t == lastT && bh.g <= lastG)) {
+			panic("sim: barrier replay diverged from window execution")
+		}
+		lastT, lastG, first = bh.t, bh.g, false
+		sh := d.engs[best].sh
+		rec := sh.disp[sh.di]
+		sh.di++
+		for k := int32(0); k < rec.n; k++ {
+			dest := sh.calls[sh.ci]
+			sh.ci++
+			d.g++
+			if dest < 0 {
+				sh.liveG = append(sh.liveG, d.g)
+			} else {
+				ev := sh.defers[sh.fi]
+				sh.fi++
+				ev.seq = d.g
+				dst := d.engs[dest].sh
+				dst.inj = append(dst.inj, ev)
+			}
+		}
+		if sh.di < len(sh.disp) {
+			r := sh.disp[sh.di]
+			d.heads[best] = mergeHead{t: r.t, g: sh.translate(r.seq), ok: true}
+		} else {
+			d.heads[best].ok = false
+		}
+	}
+	for _, e := range d.engs {
+		sh := e.sh
+		if sh.di != len(sh.disp) || sh.ci != len(sh.calls) || sh.fi != len(sh.defers) {
+			panic("sim: window logs not fully consumed by barrier replay")
+		}
+		// Re-key this window's surviving events from engine-local to global
+		// sequence numbers. The i'th same-domain call of the window carries
+		// local key seqBase+1+i and global key liveG[i]; both numberings are
+		// increasing in i, so the rewrite preserves every heap comparison.
+		if base := sh.seqBase; len(sh.liveG) > 0 {
+			for i := range e.events {
+				if e.events[i].seq > base {
+					e.events[i].seq = sh.liveG[e.events[i].seq-base-1]
+				}
+			}
+		}
+		for _, ev := range sh.inj {
+			e.pushEvent(ev)
+		}
+		for i := range sh.defers {
+			sh.defers[i] = event{} // release handler references
+		}
+		for i := range sh.inj {
+			sh.inj[i] = event{}
+		}
+		sh.disp, sh.calls = sh.disp[:0], sh.calls[:0]
+		sh.defers, sh.inj = sh.defers[:0], sh.inj[:0]
+		sh.liveG = sh.liveG[:0]
+		sh.di, sh.ci, sh.fi = 0, 0, 0
+		e.seq = d.g
+		sh.seqBase = d.g
+	}
+}

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"context"
+	"testing"
+)
+
+// ringNode is one station of a synthetic ring workload. Every dispatch mixes
+// the event payload and time into a running hash, then forwards work: a
+// same-cycle tie event, a local follow-up, and a message to the next node a
+// full lookahead away. The hash makes each node's final state sensitive to
+// its exact dispatch order, so a sharded run that merges windows in the
+// wrong order cannot match the serial states.
+type ringNode struct {
+	id    int
+	dom   int
+	eng   *Engine
+	ring  []*ringNode
+	L     VTime
+	state uint64
+	log   []VTime
+}
+
+func (n *ringNode) Event(arg EventArg) {
+	now := n.eng.Now()
+	n.state = n.state*1000003 + uint64(now)*31 + arg.A + 1
+	n.log = append(n.log, now)
+	if arg.B == 0 {
+		return
+	}
+	next := n.ring[(n.id+1)%len(n.ring)]
+	n.eng.CrossAt(next.dom, now+n.L, next, EventArg{A: n.state & 0xffff, B: arg.B - 1})
+	if arg.B%3 == 0 {
+		n.eng.AtH(now, n, EventArg{A: 1}) // same-cycle tie
+	}
+	n.eng.AtH(now+1, n, EventArg{A: n.state >> 48})
+}
+
+// buildRing wires k nodes, each on the engine engAt assigns, and seeds one
+// initial event per node at staggered times (several nodes share a start
+// cycle, exercising cross-domain ties).
+func buildRing(k int, L VTime, hops uint64, engAt func(i int) (*Engine, int)) []*ringNode {
+	ring := make([]*ringNode, k)
+	for i := range ring {
+		eng, dom := engAt(i)
+		ring[i] = &ringNode{id: i, dom: dom, eng: eng, ring: ring, L: L}
+	}
+	for i, n := range ring {
+		n.eng.AtH(VTime(i%3), n, EventArg{A: uint64(i) * 7, B: hops})
+	}
+	return ring
+}
+
+// TestDomainsMatchesSerial checks the core determinism contract: per-node
+// final states and dispatch-time sequences of a sharded run equal the serial
+// engine's. CrossAt degenerates to AtH on a serial engine, so the same model
+// drives both.
+func TestDomainsMatchesSerial(t *testing.T) {
+	const k, L, hops = 8, 16, 40
+	se := NewEngine()
+	serial := buildRing(k, L, hops, func(i int) (*Engine, int) { return se, 0 })
+	se.RunUntil(Infinity)
+
+	for _, nd := range []int{2, 3, 4} {
+		d := NewDomains(nd, L)
+		sharded := buildRing(k, L, hops, func(i int) (*Engine, int) {
+			dom := i * nd / k
+			return d.Engine(dom), dom
+		})
+		if err := d.Run(context.Background(), Infinity); err != nil {
+			t.Fatalf("domains=%d: %v", nd, err)
+		}
+		if d.Processed() != se.Processed {
+			t.Errorf("domains=%d: processed %d events, serial %d", nd, d.Processed(), se.Processed)
+		}
+		for i := range serial {
+			if serial[i].state != sharded[i].state {
+				t.Errorf("domains=%d node %d: state %#x != serial %#x", nd, i, sharded[i].state, serial[i].state)
+			}
+			if len(serial[i].log) != len(sharded[i].log) {
+				t.Fatalf("domains=%d node %d: %d dispatches, serial %d", nd, i, len(sharded[i].log), len(serial[i].log))
+			}
+			for j := range serial[i].log {
+				if serial[i].log[j] != sharded[i].log[j] {
+					t.Fatalf("domains=%d node %d dispatch %d: at %d, serial at %d",
+						nd, i, j, sharded[i].log[j], serial[i].log[j])
+				}
+			}
+		}
+	}
+}
+
+// fanNode doubles itself every cycle until its budget runs out, pushing the
+// per-window event count past spawnThreshold so windows execute on spawned
+// goroutines (under -race this is the kernel's data-race test).
+type fanNode struct {
+	id    int
+	dom   int
+	eng   *Engine
+	peers []*fanNode
+	L     VTime
+	state uint64
+}
+
+func (n *fanNode) Event(arg EventArg) {
+	now := n.eng.Now()
+	n.state = n.state*1000003 + uint64(now)*31 + arg.A + 1
+	if arg.B == 0 {
+		return
+	}
+	n.eng.AtH(now+1, n, EventArg{A: n.state & 0xff, B: arg.B - 1})
+	n.eng.AtH(now+2, n, EventArg{A: n.state >> 56, B: arg.B - 1})
+	peer := n.peers[(n.id+1)%len(n.peers)]
+	n.eng.CrossAt(peer.dom, now+n.L, peer, EventArg{A: n.state & 7, B: arg.B / 2})
+}
+
+func TestDomainsDenseWindows(t *testing.T) {
+	const k, L = 4, 16
+	build := func(engAt func(i int) (*Engine, int)) []*fanNode {
+		peers := make([]*fanNode, k)
+		for i := range peers {
+			eng, dom := engAt(i)
+			peers[i] = &fanNode{id: i, dom: dom, eng: eng, peers: peers, L: L}
+		}
+		for i, n := range peers {
+			n.eng.AtH(VTime(i), n, EventArg{B: 12})
+		}
+		return peers
+	}
+	se := NewEngine()
+	serial := build(func(i int) (*Engine, int) { return se, 0 })
+	se.RunUntil(Infinity)
+	if se.Processed < 4*spawnThreshold {
+		t.Fatalf("workload too sparse to exercise the spawn path: %d events", se.Processed)
+	}
+
+	d := NewDomains(k, L)
+	sharded := build(func(i int) (*Engine, int) { return d.Engine(i), i })
+	if err := d.Run(context.Background(), Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if d.Processed() != se.Processed {
+		t.Errorf("processed %d events, serial %d", d.Processed(), se.Processed)
+	}
+	if d.Rounds() == 0 {
+		t.Error("no windows ran")
+	}
+	for i := range serial {
+		if serial[i].state != sharded[i].state {
+			t.Errorf("node %d: state %#x != serial %#x", i, sharded[i].state, serial[i].state)
+		}
+	}
+}
+
+// TestDomainsRunLimit checks that Run leaves events beyond the limit queued,
+// like Engine.RunUntil, and that a later Run picks them up.
+func TestDomainsRunLimit(t *testing.T) {
+	d := NewDomains(2, 8)
+	var fired []VTime
+	for _, at := range []VTime{3, 10, 25} {
+		at := at
+		d.Engine(0).AtH(at, funcEvent(func() { fired = append(fired, at) }), EventArg{})
+	}
+	if err := d.Run(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 10 {
+		t.Fatalf("Run(10) fired %v, want [3 10]", fired)
+	}
+	if d.Engine(0).Pending() != 1 {
+		t.Fatalf("event beyond limit not left queued: pending=%d", d.Engine(0).Pending())
+	}
+	if err := d.Run(context.Background(), Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 || fired[2] != 25 {
+		t.Fatalf("resumed Run fired %v, want [3 10 25]", fired)
+	}
+}
+
+// badNode schedules a cross-domain event closer than the lookahead from
+// inside a window — the contract violation CrossAt must catch.
+type badNode struct{ eng *Engine }
+
+func (b *badNode) Event(EventArg) {
+	b.eng.CrossAt(1, b.eng.Now()+1, b, EventArg{})
+}
+
+func TestDomainsLookaheadViolationPanics(t *testing.T) {
+	d := NewDomains(2, 32)
+	d.Engine(0).AtH(1, &badNode{eng: d.Engine(0)}, EventArg{})
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-domain post inside the window did not panic")
+		}
+	}()
+	_ = d.Run(context.Background(), 100)
+}
+
+func TestDomainsSetupAndSeal(t *testing.T) {
+	d := NewDomains(3, 16)
+	if d.N() != 3 {
+		t.Fatalf("N=%d, want 3", d.N())
+	}
+	// Setup-mode CrossAt posts directly on the destination engine.
+	h := funcEvent(func() {})
+	d.Engine(0).CrossAt(2, 5, h, EventArg{})
+	if d.Engine(2).Pending() != 1 || d.Engine(0).Pending() != 0 {
+		t.Fatalf("setup CrossAt landed on pending=[%d %d %d], want [0 0 1]",
+			d.Engine(0).Pending(), d.Engine(1).Pending(), d.Engine(2).Pending())
+	}
+	d.Seal()
+	d.Seal() // idempotent
+	if err := d.Run(context.Background(), Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if d.Processed() != 1 {
+		t.Fatalf("processed %d, want 1", d.Processed())
+	}
+}
+
+func TestDomainsOnWindow(t *testing.T) {
+	d := NewDomains(2, 8)
+	for i := 0; i < 5; i++ {
+		d.Engine(i%2).AtH(VTime(i*20), funcEvent(func() {}), EventArg{})
+	}
+	var rounds []uint64
+	d.OnWindow = func(r uint64) { rounds = append(rounds, r) }
+	if err := d.Run(context.Background(), Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(rounds)) != d.Rounds() {
+		t.Fatalf("OnWindow fired %d times, Rounds()=%d", len(rounds), d.Rounds())
+	}
+	for i, r := range rounds {
+		if r != uint64(i+1) {
+			t.Fatalf("rounds %v not 1-based consecutive", rounds)
+		}
+	}
+}
+
+func TestDomainsRunCancelled(t *testing.T) {
+	d := NewDomains(2, 8)
+	d.Engine(0).AtH(1, funcEvent(func() {}), EventArg{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := d.Run(ctx, Infinity); err != context.Canceled {
+		t.Fatalf("Run on cancelled ctx: %v, want context.Canceled", err)
+	}
+}
+
+func TestNewDomainsPanics(t *testing.T) {
+	for _, c := range []struct {
+		n int
+		l VTime
+	}{{0, 8}, {2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDomains(%d, %d) did not panic", c.n, c.l)
+				}
+			}()
+			NewDomains(c.n, c.l)
+		}()
+	}
+}

@@ -21,6 +21,7 @@ type runConfig struct {
 	seed       *int64
 	maxCycles  uint64
 	workers    int
+	domains    *int
 	progress   func(done, total int)
 	perRun     func(i int) []Option
 
@@ -106,6 +107,26 @@ func WithMaxCycles(cycles uint64) Option {
 // Single-run calls ignore it.
 func WithWorkers(n int) Option {
 	return func(rc *runConfig) { rc.workers = n }
+}
+
+// WithDomains shards each simulation across n spatial mesh domains running
+// on parallel goroutines, so a single run can use more than one core
+// (1 = today's serial kernel, the default; 0 = one domain per available
+// CPU, from GOMAXPROCS). Results are bit-identical to serial: domains
+// execute conservative lookahead windows of one NoC hop latency and a
+// deterministic barrier replay restores the serial event order (see
+// docs/performance.md, "Domain decomposition"). Runs that attach observers
+// (WithMetrics, WithTrace, WithAttribution, WithInvariants) fall back to
+// serial automatically, as do the route/concentric/distributed ablations.
+//
+// Composition with WithWorkers: workers parallelise *across* runs of a
+// batch, domains parallelise *within* each run. Their product is the peak
+// goroutine demand, so when n > 1 the batch entry points cap workers at
+// GOMAXPROCS / n (minimum 1) unless WithWorkers asked for less. Prefer
+// WithWorkers for large batches (embarrassingly parallel, no barrier cost)
+// and WithDomains when latency of a single large run matters.
+func WithDomains(n int) Option {
+	return func(rc *runConfig) { rc.domains = &n }
 }
 
 // WithProgress registers a callback invoked after each run of a batch

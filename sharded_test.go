@@ -1,0 +1,140 @@
+// End-to-end conformance for the domain-sharded kernel (WithDomains): a
+// sharded run must return a Result byte-identical to the serial kernel's,
+// for every scheme — including the ones that fall back to serial — across
+// domain counts. Run under -race (make check does) this doubles as the
+// parallel kernel's data-race gate.
+package hdpat_test
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"hdpat"
+)
+
+// shardedBenchmarks trades matrix size for coverage: one regular-strided
+// and one irregular workload exercise both sparse and dense event phases.
+var shardedBenchmarks = []string{"FIR", "SPMV"}
+
+func shardedOpts(extra ...hdpat.Option) []hdpat.Option {
+	return append([]hdpat.Option{hdpat.WithOpsBudget(8), hdpat.WithSeed(7)}, extra...)
+}
+
+func TestShardedMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scheme x benchmark x domains matrix is not short")
+	}
+	cfg := hdpat.DefaultConfig()
+	for _, scheme := range hdpat.Schemes() {
+		for _, bench := range shardedBenchmarks {
+			spec := hdpat.RunSpec{Scheme: scheme, Benchmark: bench}
+			serial, err := hdpat.Simulate(cfg, spec, shardedOpts()...)
+			if err != nil {
+				t.Fatalf("%s/%s serial: %v", scheme, bench, err)
+			}
+			for _, nd := range []int{2, 4} {
+				sharded, err := hdpat.Simulate(cfg, spec, shardedOpts(hdpat.WithDomains(nd))...)
+				if err != nil {
+					t.Fatalf("%s/%s domains=%d: %v", scheme, bench, nd, err)
+				}
+				if !reflect.DeepEqual(serial, sharded) {
+					t.Errorf("%s/%s: WithDomains(%d) result differs from serial\nserial:  %+v\nsharded: %+v",
+						scheme, bench, nd, serial, sharded)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedAutoDomains exercises WithDomains(0): one domain per available
+// CPU. On a single-CPU host that resolves to the serial kernel, so the
+// assertion holds everywhere.
+func TestShardedAutoDomains(t *testing.T) {
+	cfg := hdpat.DefaultConfig()
+	cfg.MeshW, cfg.MeshH = 3, 3
+	spec := hdpat.RunSpec{Scheme: "hdpat", Benchmark: "SPMV"}
+	serial, err := hdpat.Simulate(cfg, spec, shardedOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := hdpat.Simulate(cfg, spec, shardedOpts(hdpat.WithDomains(0))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, auto) {
+		t.Errorf("WithDomains(0) differs from serial:\nserial: %+v\nauto:   %+v", serial, auto)
+	}
+}
+
+// TestShardedDomainsExceedMesh asks for more domains than the mesh has rows;
+// the partition must cap rather than create empty engines, and results must
+// still match serial.
+func TestShardedDomainsExceedMesh(t *testing.T) {
+	cfg := hdpat.DefaultConfig()
+	cfg.MeshW, cfg.MeshH = 3, 3
+	spec := hdpat.RunSpec{Scheme: "baseline", Benchmark: "FIR"}
+	serial, err := hdpat.Simulate(cfg, spec, shardedOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := hdpat.Simulate(cfg, spec, shardedOpts(hdpat.WithDomains(64))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Errorf("WithDomains(64) on 3x3 differs from serial")
+	}
+}
+
+// TestShardedBatch runs a sharded batch: the worker clamp must keep
+// workers x domains within GOMAXPROCS without perturbing any result.
+func TestShardedBatch(t *testing.T) {
+	cfg := hdpat.DefaultConfig()
+	cfg.MeshW, cfg.MeshH = 3, 3
+	specs := []hdpat.RunSpec{
+		{Scheme: "baseline", Benchmark: "FIR"},
+		{Scheme: "hdpat", Benchmark: "SPMV"},
+		{Scheme: "valkyrie", Benchmark: "FIR"},
+	}
+	serial, err := hdpat.RunBatch(context.Background(), cfg, specs, shardedOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := hdpat.RunBatch(context.Background(), cfg, specs,
+		shardedOpts(hdpat.WithDomains(2), hdpat.WithWorkers(runtime.GOMAXPROCS(0)))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if serial[i].Err != nil || sharded[i].Err != nil {
+			t.Fatalf("run %d: errs %v / %v", i, serial[i].Err, sharded[i].Err)
+		}
+		if !reflect.DeepEqual(serial[i].Result, sharded[i].Result) {
+			t.Errorf("run %d (%s/%s): sharded batch result differs from serial",
+				i, specs[i].Scheme, specs[i].Benchmark)
+		}
+	}
+}
+
+// TestShardedObserverFallback verifies that observer options compose with
+// WithDomains by falling back to serial: the invariant checker must run
+// green and the result must match a plain serial run.
+func TestShardedObserverFallback(t *testing.T) {
+	cfg := hdpat.DefaultConfig()
+	cfg.MeshW, cfg.MeshH = 3, 3
+	spec := hdpat.RunSpec{Scheme: "hdpat", Benchmark: "SPMV"}
+	serial, err := hdpat.Simulate(cfg, spec, shardedOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := hdpat.Simulate(cfg, spec, shardedOpts(hdpat.WithDomains(4), hdpat.WithInvariants())...)
+	if err != nil {
+		t.Fatalf("invariant checker flagged the fallback run: %v", err)
+	}
+	if serial.Cycles != checked.Cycles || serial.TotalOps != checked.TotalOps ||
+		!reflect.DeepEqual(serial.IOMMU, checked.IOMMU) || !reflect.DeepEqual(serial.NoC, checked.NoC) {
+		t.Errorf("WithDomains+WithInvariants fallback diverged from serial")
+	}
+}
