@@ -7,7 +7,7 @@ GO ?= go
 BENCH ?= BenchmarkBatch3x3|BenchmarkCompare
 BENCHTIME ?= 3x
 
-.PHONY: build test race vet staticcheck check verify-invariants bench bench-check bench-all report
+.PHONY: build test race vet staticcheck check verify-invariants bench bench-check bench-all report service-smoke
 
 build:
 	$(GO) build ./...
@@ -70,18 +70,29 @@ bench:
 BENCH_TOLERANCE ?= 0.15
 ALLOC_TOLERANCE ?= 0.10
 EVENTS_TOLERANCE ?= 0.15
+# Extra benchmarks to diff but never gate on (regexp). Domain-sharded D<n>
+# legs are automatically informational when the run used a single CPU.
+BENCH_INFORMATIONAL ?=
 bench-check:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -benchmem \
 		| /tmp/benchjson > /tmp/bench-new.json
 	/tmp/benchjson -compare -tolerance $(BENCH_TOLERANCE) \
 		-alloc-tolerance $(ALLOC_TOLERANCE) -events-tolerance $(EVENTS_TOLERANCE) \
+		-informational '$(BENCH_INFORMATIONAL)' \
 		results/bench.json /tmp/bench-new.json
 
 # One iteration of every paper-artifact benchmark plus the batch-engine
 # serial/parallel comparison.
 bench-all:
 	$(GO) test -bench=. -benchtime 1x
+
+# Service smoke (run by CI): build hdpatd, start it, submit a compare job
+# over HTTP, poll to completion and check every served artifact's bytes
+# hash to the digest a direct in-process run of the same spec prints
+# (hdpatd -digest). See docs/service.md.
+service-smoke:
+	bash scripts/service-smoke.sh
 
 # Latency-attribution run report (Markdown breakdowns + NoC heatmap CSVs)
 # for REPORT_SCHEME vs baseline on REPORT_BENCH, written under

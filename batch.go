@@ -88,6 +88,9 @@ func RunBatch(ctx context.Context, cfg Config, specs []RunSpec, opts ...Option) 
 	if rc.progress != nil {
 		pool.Progress = func(done, total int, _ runner.Outcome) { rc.progress(done, total) }
 	}
+	if rc.monitor != nil {
+		rc.monitor.pool.Store(pool)
+	}
 	outs := pool.Run(ctx, tasks)
 	results := make([]RunResult, len(specs))
 	for i, o := range outs {

@@ -100,6 +100,92 @@ func TestCompareEventsThroughputGate(t *testing.T) {
 	}
 }
 
+func TestCompareShardedLegInformationalOnSingleCPU(t *testing.T) {
+	// A D4 leg with no GOMAXPROCS suffix (procs omitted = single CPU)
+	// regresses hard; the sweep on 8 procs regresses the same amount.
+	old := `{"benchmarks":[
+	  {"name":"BenchmarkCompareHDPATD4","iterations":3,"metrics":[{"value":1000,"unit":"ns/op"}]},
+	  {"name":"BenchmarkCompareHDPAT","procs":8,"iterations":3,"metrics":[{"value":1000,"unit":"ns/op"}]}
+	]}`
+	slowD4 := `{"benchmarks":[
+	  {"name":"BenchmarkCompareHDPATD4","iterations":3,"metrics":[{"value":2000,"unit":"ns/op"}]},
+	  {"name":"BenchmarkCompareHDPAT","procs":8,"iterations":3,"metrics":[{"value":1000,"unit":"ns/op"}]}
+	]}`
+	// Only the sharded leg regressed, and it ran on one CPU: informational.
+	if code := compareReports(writeReport(t, "old.json", old),
+		writeReport(t, "new.json", slowD4), defaultTol()); code != 0 {
+		t.Errorf("single-CPU D4 regression gated: exit %d, want 0", code)
+	}
+	// The same leg on a multi-CPU runner measures the real sharding speedup
+	// and must gate.
+	oldMP := `{"benchmarks":[
+	  {"name":"BenchmarkCompareHDPATD4","procs":8,"iterations":3,"metrics":[{"value":1000,"unit":"ns/op"}]}
+	]}`
+	slowMP := `{"benchmarks":[
+	  {"name":"BenchmarkCompareHDPATD4","procs":8,"iterations":3,"metrics":[{"value":2000,"unit":"ns/op"}]}
+	]}`
+	if code := compareReports(writeReport(t, "old2.json", oldMP),
+		writeReport(t, "new2.json", slowMP), defaultTol()); code != 1 {
+		t.Errorf("multi-CPU D4 regression not gated: exit %d, want 1", code)
+	}
+	// A non-sharded single-CPU benchmark still gates.
+	oldPlain := `{"benchmarks":[
+	  {"name":"BenchmarkCompareHDPAT","iterations":3,"metrics":[{"value":1000,"unit":"ns/op"}]}
+	]}`
+	slowPlain := `{"benchmarks":[
+	  {"name":"BenchmarkCompareHDPAT","iterations":3,"metrics":[{"value":2000,"unit":"ns/op"}]}
+	]}`
+	if code := compareReports(writeReport(t, "old3.json", oldPlain),
+		writeReport(t, "new3.json", slowPlain), defaultTol()); code != 1 {
+		t.Errorf("plain single-CPU regression not gated: exit %d, want 1", code)
+	}
+}
+
+func TestCompareInformationalFlag(t *testing.T) {
+	old := `{"benchmarks":[
+	  {"name":"BenchmarkNoisy","procs":8,"iterations":3,"metrics":[{"value":1000,"unit":"ns/op"}]}
+	]}`
+	slow := `{"benchmarks":[
+	  {"name":"BenchmarkNoisy","procs":8,"iterations":3,"metrics":[{"value":2000,"unit":"ns/op"}]}
+	]}`
+	tol := defaultTol()
+	tol.Informational = `^BenchmarkNoisy$`
+	if code := compareReports(writeReport(t, "old.json", old),
+		writeReport(t, "new.json", slow), tol); code != 0 {
+		t.Errorf("-informational benchmark gated: exit %d, want 0", code)
+	}
+	// Without the flag the same diff fails.
+	if code := compareReports(writeReport(t, "old2.json", old),
+		writeReport(t, "new2.json", slow), defaultTol()); code != 1 {
+		t.Errorf("ungated without -informational: exit %d, want 1", code)
+	}
+	// A bad pattern is a usage error, not a silent pass.
+	tol.Informational = `(`
+	if code := compareReports(writeReport(t, "old3.json", old),
+		writeReport(t, "new3.json", slow), tol); code != 2 {
+		t.Errorf("bad -informational pattern: exit %d, want 2", code)
+	}
+}
+
+func TestShardedLegPattern(t *testing.T) {
+	cases := []struct {
+		b    Benchmark
+		want bool
+	}{
+		{Benchmark{Name: "BenchmarkCompareHDPATD4"}, true},
+		{Benchmark{Name: "BenchmarkCompareHDPAT7x12D4"}, true},
+		{Benchmark{Name: "BenchmarkCompareHDPATD4/sub"}, true},
+		{Benchmark{Name: "BenchmarkCompareHDPATD4", Procs: 8}, false}, // multi-CPU
+		{Benchmark{Name: "BenchmarkCompareHDPAT"}, false},
+		{Benchmark{Name: "BenchmarkBatch3x3/parallel"}, false},
+	}
+	for _, c := range cases {
+		if got := informational(c.b, nil); got != c.want {
+			t.Errorf("informational(%q procs=%d) = %v, want %v", c.b.Name, c.b.Procs, got, c.want)
+		}
+	}
+}
+
 func TestCompareMissingFile(t *testing.T) {
 	if code := compareReports(filepath.Join(t.TempDir(), "absent.json"),
 		writeReport(t, "new.json", oldJSON), defaultTol()); code != 2 {

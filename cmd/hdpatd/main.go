@@ -1,0 +1,170 @@
+// Command hdpatd is the long-running HDPAT simulation service: an HTTP+JSON
+// API that accepts simulation/comparison/sweep jobs, runs them on the
+// parallel batch engine, streams per-job progress (SSE or long-poll) and
+// metrics, and persists Result/Breakdown/report.md artifacts under
+// content-addressed SHA-256 digests. Job journals make runs durable: a
+// restarted daemon resumes an interrupted sweep from its last finished run
+// and produces artifacts byte-identical to an uninterrupted one.
+//
+// Serve:
+//
+//	hdpatd -addr :8080 -data ./hdpatd-data
+//	curl -XPOST localhost:8080/v1/jobs -d '{"kind":"compare","scheme":"hdpat","benchmark":"FIR","ops_budget":8,"seed":1}'
+//	curl localhost:8080/v1/jobs/<id>/progress?since=0
+//	curl localhost:8080/v1/artifacts/<digest>
+//
+// One-shot digest mode (no server) runs a spec directly through the same
+// artifact-assembly path and prints "name  sha256" per artifact — the
+// reference the CI smoke test diffs a served job against:
+//
+//	hdpatd -digest -spec '{"kind":"compare","scheme":"hdpat","benchmark":"FIR","ops_budget":8,"seed":1}'
+//
+// See docs/service.md for the API reference and resume semantics.
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hdpat"
+	"hdpat/internal/metrics"
+	"hdpat/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	data := flag.String("data", "hdpatd-data", "state directory (artifacts, job journals)")
+	defOps := flag.Int("ops", 0, "default per-CU ops budget for specs that leave ops_budget at 0 (0 = simulator default)")
+	maxOps := flag.Int("max-ops", 0, "reject specs asking for more than this ops budget (0 = no cap)")
+	jobWorkers := flag.Int("job-workers", 1, "jobs executing concurrently")
+	runWorkers := flag.Int("run-workers", 0, "default per-job run concurrency when a spec leaves workers at 0 (0 = 1, serial)")
+	waferCfg := flag.String("wafer", "7x7", "system configuration: 7x7 (Table I) or 7x12 (Fig 22)")
+	digest := flag.Bool("digest", false, "one-shot: run -spec locally and print its artifact digests, then exit")
+	specJSON := flag.String("spec", "", "job spec JSON for -digest mode")
+	flag.Parse()
+
+	cfg, err := systemConfig(*waferCfg)
+	if err != nil {
+		log.Fatalf("hdpatd: %v", err)
+	}
+	run := runFunc(cfg, *defOps, *maxOps)
+
+	if *digest {
+		if err := printDigests(*specJSON, run); err != nil {
+			log.Fatalf("hdpatd: %v", err)
+		}
+		return
+	}
+	if err := serve(*addr, *data, run, *jobWorkers, *runWorkers); err != nil {
+		log.Fatalf("hdpatd: %v", err)
+	}
+}
+
+// systemConfig resolves the -wafer flag.
+func systemConfig(name string) (hdpat.Config, error) {
+	switch name {
+	case "7x7":
+		return hdpat.DefaultConfig(), nil
+	case "7x12":
+		return hdpat.Wafer7x12Config(), nil
+	}
+	return hdpat.Config{}, fmt.Errorf("unknown -wafer %q (7x7 or 7x12)", name)
+}
+
+// runFunc adapts the public simulation API into the service's run seam.
+// Every job run goes through here: scheme resolution, the daemon's default
+// budget, and the optional per-run metrics registry.
+func runFunc(cfg hdpat.Config, defOps, maxOps int) service.RunFunc {
+	return func(ctx context.Context, spec service.JobSpec, p service.Point, reg *metrics.Registry) (hdpat.Result, error) {
+		budget := spec.OpsBudget
+		if budget == 0 {
+			budget = defOps
+		}
+		if maxOps > 0 && budget > maxOps {
+			return hdpat.Result{}, fmt.Errorf("ops budget %d exceeds daemon cap %d", budget, maxOps)
+		}
+		opts := []hdpat.Option{hdpat.WithSeed(spec.Seed)}
+		if budget > 0 {
+			opts = append(opts, hdpat.WithOpsBudget(budget))
+		}
+		if spec.Attribution {
+			opts = append(opts, hdpat.WithAttribution())
+		}
+		if reg != nil {
+			opts = append(opts, hdpat.WithMetrics(reg))
+		}
+		return hdpat.SimulateContext(ctx, cfg, hdpat.RunSpec{
+			Scheme: p.Scheme, Benchmark: p.Benchmark,
+		}, opts...)
+	}
+}
+
+// printDigests runs the spec inline (no daemon, no store) and prints one
+// "name  sha256-hex" line per assembled artifact.
+func printDigests(specJSON string, run service.RunFunc) error {
+	if specJSON == "" {
+		return errors.New("-digest needs -spec '<job spec JSON>'")
+	}
+	var spec service.JobSpec
+	if err := json.Unmarshal([]byte(specJSON), &spec); err != nil {
+		return fmt.Errorf("parse -spec: %w", err)
+	}
+	blobs, err := service.Materialize(context.Background(), spec, run)
+	if err != nil {
+		return err
+	}
+	for _, b := range blobs {
+		fmt.Printf("%s  %x\n", b.Name, sha256.Sum256(b.Data))
+	}
+	return nil
+}
+
+// serve opens the service state, mounts the API and blocks until SIGINT or
+// SIGTERM, then shuts down gracefully: the HTTP listener drains, running
+// jobs are interrupted without a terminal journal entry, and the next start
+// resumes them from their last finished run.
+func serve(addr, data string, run service.RunFunc, jobWorkers, runWorkers int) error {
+	svc, err := service.Open(service.Options{
+		Dir:        data,
+		Run:        run,
+		JobWorkers: jobWorkers,
+		RunWorkers: runWorkers,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("hdpatd: serving on %s, state in %s", addr, data)
+
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("hdpatd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutdownCtx)
+	if err := svc.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "hdpatd: stopped; journaled jobs resume on next start")
+	return nil
+}

@@ -1,0 +1,244 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hdpat"
+	"hdpat/internal/metrics"
+	"hdpat/internal/service"
+)
+
+// startDaemon opens a service over the real simulator in dir and serves it.
+func startDaemon(t *testing.T, dir string, run service.RunFunc) (*service.Service, *httptest.Server) {
+	t.Helper()
+	svc, err := service.Open(service.Options{Dir: dir, Run: run, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { srv.Close(); svc.Close() })
+	return svc, srv
+}
+
+func pollDone(t *testing.T, srv *httptest.Server, id string) service.Status {
+	t.Helper()
+	since := int64(-1)
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/progress?since=%d&timeout=2s", srv.URL, id, since))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st service.Status
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		since = st.Rev
+	}
+	t.Fatal("job never settled")
+	return service.Status{}
+}
+
+// TestDaemonCompareMatchesDirectRun is the smoke contract CI scripts
+// against: a Compare job served over HTTP stores artifacts byte-identical
+// to a direct in-process run of the same spec (service.Materialize — the
+// hdpatd -digest path).
+func TestDaemonCompareMatchesDirectRun(t *testing.T) {
+	run := runFunc(hdpat.DefaultConfig(), 0, 0)
+	_, srv := startDaemon(t, t.TempDir(), run)
+
+	spec := service.JobSpec{
+		Kind: service.KindCompare, Scheme: "hdpat", Benchmark: "FIR",
+		OpsBudget: 8, Seed: 1, Attribution: true,
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	final := pollDone(t, srv, st.ID)
+	if final.State != service.StateDone {
+		t.Fatalf("job %s: %s (%s)", st.ID, final.State, final.Error)
+	}
+
+	// Direct run through the same assembly path.
+	blobs, err := service.Materialize(context.Background(), spec, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != len(final.Artifacts) {
+		t.Fatalf("direct run has %d artifacts, job %d", len(blobs), len(final.Artifacts))
+	}
+	for i, b := range blobs {
+		a := final.Artifacts[i]
+		sum := sha256.Sum256(b.Data)
+		if a.Name != b.Name || a.Digest != hex.EncodeToString(sum[:]) {
+			t.Errorf("artifact %d: job %s/%s vs direct %s/%x", i, a.Name, a.Digest, b.Name, sum)
+		}
+		// And the served bytes match too.
+		resp, err := http.Get(srv.URL + "/v1/artifacts/" + a.Digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		served, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !bytes.Equal(served, b.Data) {
+			t.Errorf("artifact %s served bytes differ from direct run", a.Name)
+		}
+	}
+}
+
+// TestDaemonKillRestartSweep runs the acceptance scenario on the real
+// simulator: a sweep interrupted mid-flight and resumed by a fresh service
+// produces artifacts byte-identical to an uninterrupted sweep, without
+// re-executing completed runs.
+func TestDaemonKillRestartSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-simulator sweep")
+	}
+	run := runFunc(hdpat.DefaultConfig(), 0, 0)
+	spec := service.JobSpec{
+		Kind:       service.KindSweep,
+		Schemes:    []string{"hdpat"},
+		Benchmarks: []string{"FIR", "SPMV"},
+		OpsBudget:  6, Seed: 2, Attribution: true,
+	}
+	total := len(spec.Points()) // 2 benchmarks x (baseline + hdpat) = 4
+	const allow = 2
+
+	// Control sweep, uninterrupted.
+	ctrl, err := service.Open(service.Options{Dir: t.TempDir(), Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, _, err := ctrl.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := waitDone(t, jc)
+	ctrl.Close()
+
+	// Interrupted sweep: the run seam blocks after `allow` completions.
+	dir := t.TempDir()
+	var count atomic.Int64
+	blocked := make(chan struct{}, 1)
+	gated := func(ctx context.Context, s service.JobSpec, p service.Point, reg *metrics.Registry) (hdpat.Result, error) {
+		if count.Add(1) > allow {
+			select {
+			case blocked <- struct{}{}:
+			default:
+			}
+			<-ctx.Done()
+			return hdpat.Result{}, ctx.Err()
+		}
+		return run(ctx, s, p, reg)
+	}
+	svc1, err := service.Open(service.Options{Dir: dir, Run: gated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc1.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-blocked:
+	case <-time.After(60 * time.Second):
+		t.Fatal("gate never reached")
+	}
+	svc1.Close() // the kill: no terminal journal entry
+
+	// Fresh daemon process over the same state dir.
+	var executed atomic.Int64
+	counting := func(ctx context.Context, s service.JobSpec, p service.Point, reg *metrics.Registry) (hdpat.Result, error) {
+		executed.Add(1)
+		return run(ctx, s, p, reg)
+	}
+	svc2, err := service.Open(service.Options{Dir: dir, Run: counting})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	j, ok := svc2.Get(spec.ID())
+	if !ok {
+		t.Fatal("job not recovered")
+	}
+	got := waitDone(t, j)
+
+	if n := int(executed.Load()); n != total-allow {
+		t.Errorf("restart executed %d runs, want %d (completed runs must not re-execute)", n, total-allow)
+	}
+	if got.Progress.Resumed != allow {
+		t.Errorf("resumed = %d, want %d", got.Progress.Resumed, allow)
+	}
+	if len(got.Artifacts) != len(want.Artifacts) {
+		t.Fatalf("artifact count %d vs control %d", len(got.Artifacts), len(want.Artifacts))
+	}
+	for i := range got.Artifacts {
+		if got.Artifacts[i] != want.Artifacts[i] {
+			t.Errorf("artifact %d: %+v vs control %+v", i, got.Artifacts[i], want.Artifacts[i])
+		}
+	}
+}
+
+func waitDone(t *testing.T, j *service.Job) service.Status {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	since := int64(-1)
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		st := j.Wait(ctx, since)
+		cancel()
+		since = st.Rev
+		if st.State.Terminal() {
+			if st.State != service.StateDone {
+				t.Fatalf("job %s: %s (%s)", st.ID, st.State, st.Error)
+			}
+			return st
+		}
+	}
+	t.Fatal("job never settled")
+	return service.Status{}
+}
+
+// TestDigestModeMatchesSpec checks the -digest plumbing end to end: the
+// printed digests equal the SHA-256 of the materialized artifacts.
+func TestDigestModeMatchesSpec(t *testing.T) {
+	run := runFunc(hdpat.DefaultConfig(), 0, 0)
+	spec := service.JobSpec{Kind: service.KindSimulate, Scheme: "baseline", Benchmark: "FIR", OpsBudget: 4, Seed: 1}
+	blobs, err := service.Materialize(context.Background(), spec, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != 1 || blobs[0].Name != "run-0-baseline-FIR.json" {
+		t.Fatalf("blobs = %+v", blobs)
+	}
+	// The daemon cap rejects over-budget specs.
+	capped := runFunc(hdpat.DefaultConfig(), 0, 2)
+	if _, err := service.Materialize(context.Background(), spec, capped); err == nil {
+		t.Error("max-ops cap not enforced")
+	}
+}

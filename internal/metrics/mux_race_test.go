@@ -1,0 +1,197 @@
+// Concurrency tests for the observability endpoints: every Mux handler is
+// scraped in parallel while the registry it serves is being written, and
+// /progress is polled while a live runner.Pool batch is mid-flight. All of
+// it runs under `make race`, so a torn read anywhere in the snapshot or
+// progress path fails the tier-1 gate.
+package metrics_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hdpat/internal/metrics"
+	"hdpat/internal/runner"
+	"hdpat/internal/wafer"
+)
+
+// scrape GETs path and requires a 200 with a non-empty body.
+func scrape(t *testing.T, srv *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	if len(body) == 0 {
+		t.Fatalf("GET %s: empty body", path)
+	}
+	return body
+}
+
+// TestMuxConcurrentScrapeAndUpdate hammers /metrics and /metrics.json from
+// several goroutines while other goroutines keep mutating the registry —
+// bumping existing series and registering brand-new ones, which exercises
+// the registry's name-map locking against Snapshot.
+func TestMuxConcurrentScrapeAndUpdate(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("sim.ops").Add(1)
+	var progressCalls atomic.Int64
+	srv := httptest.NewServer(metrics.Mux(reg, func() metrics.Progress {
+		n := int(progressCalls.Add(1))
+		return metrics.Progress{Phase: "race", Done: n, Total: n + 1, Runs: n}
+	}))
+	defer srv.Close()
+
+	const writers, scrapers, iters = 4, 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				reg.Counter("sim.ops").Add(3)
+				reg.Gauge("sim.inflight").Set(int64(i))
+				reg.Histogram("sim.latency").Observe(uint64(i))
+				// New series mid-scrape: the snapshot must never observe a
+				// half-registered metric.
+				reg.Counter(fmt.Sprintf("writer.%d.%d", w, i)).Inc()
+			}
+		}(w)
+	}
+	errs := make(chan error, scrapers*3)
+	for s := 0; s < scrapers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				body := scrape(t, srv, "/metrics")
+				if !strings.Contains(string(body), "hdpat_sim_ops") {
+					errs <- fmt.Errorf("/metrics lost sim.ops")
+					return
+				}
+				var snap metrics.Snapshot
+				if err := json.Unmarshal(scrape(t, srv, "/metrics.json"), &snap); err != nil {
+					errs <- fmt.Errorf("metrics.json unparseable mid-update: %v", err)
+					return
+				}
+				if snap.Counter("sim.ops") == 0 {
+					errs <- fmt.Errorf("snapshot lost an already-written counter")
+					return
+				}
+				var p metrics.Progress
+				if err := json.Unmarshal(scrape(t, srv, "/progress"), &p); err != nil {
+					errs <- fmt.Errorf("progress unparseable: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// After the dust settles the counter totals every writer's increments.
+	if got := reg.Snapshot().Counter("sim.ops"); got != 1+writers*iters*3 {
+		t.Errorf("sim.ops = %d, want %d", got, 1+writers*iters*3)
+	}
+}
+
+// TestMuxProgressDuringBatch serves /progress and /metrics off a live
+// runner.Pool while a batch is mid-flight: tasks park on a gate, scrapes
+// observe the half-done state, then the gate opens and the batch drains.
+// This is the same wiring RunBatch uses (pool.Metrics + a Progress
+// callback), so it guards the scrape-while-simulating path end to end.
+func TestMuxProgressDuringBatch(t *testing.T) {
+	const total = 8
+	const parked = 2 // pool workers
+
+	reg := metrics.NewRegistry()
+	pool := &runner.Pool{Workers: parked, Metrics: reg}
+	var done atomic.Int64
+	pool.Progress = func(d, n int, _ runner.Outcome) { done.Store(int64(d)) }
+
+	srv := httptest.NewServer(metrics.Mux(reg, func() metrics.Progress {
+		s := pool.Snapshot()
+		return metrics.Progress{Phase: "batch", Done: s.Done, Total: s.Total, Runs: int(done.Load())}
+	}))
+	defer srv.Close()
+
+	gate := make(chan struct{})
+	arrived := make(chan struct{}, total)
+	tasks := make([]runner.Task, total)
+	for i := range tasks {
+		tasks[i] = func(ctx context.Context) (wafer.Result, error) {
+			arrived <- struct{}{}
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return wafer.Result{}, ctx.Err()
+			}
+			return wafer.Result{Cycles: 100}, nil
+		}
+	}
+	batchDone := make(chan []runner.Outcome, 1)
+	go func() { batchDone <- pool.Run(context.Background(), tasks) }()
+
+	// Both workers are parked on the gate: the batch is genuinely mid-flight.
+	<-arrived
+	<-arrived
+
+	var mid metrics.Progress
+	if err := json.Unmarshal(scrape(t, srv, "/progress"), &mid); err != nil {
+		t.Fatalf("mid-flight progress: %v", err)
+	}
+	if mid.Total != total || mid.Done != 0 {
+		t.Errorf("mid-flight progress = %+v, want done 0 of %d", mid, total)
+	}
+	// Concurrent scrapes of every endpoint while the batch advances.
+	var wg sync.WaitGroup
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				scrape(t, srv, "/progress")
+				scrape(t, srv, "/metrics")
+				scrape(t, srv, "/metrics.json")
+			}
+		}()
+	}
+	close(gate)
+	outs := <-batchDone
+	wg.Wait()
+
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("task %d: %v", o.Index, o.Err)
+		}
+	}
+	var final metrics.Progress
+	if err := json.Unmarshal(scrape(t, srv, "/progress"), &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.Done != total || final.Runs != total {
+		t.Errorf("final progress = %+v, want %d done", final, total)
+	}
+	if got := reg.Snapshot().Counter("runner.runs"); got != total {
+		t.Errorf("runner.runs = %d, want %d", got, total)
+	}
+	if !strings.Contains(string(scrape(t, srv, "/metrics")), "hdpat_runner_sim_cycles") {
+		t.Error("/metrics missing runner.sim_cycles after batch")
+	}
+}

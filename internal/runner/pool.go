@@ -73,6 +73,46 @@ type Pool struct {
 	// wall time. Safe to scrape live (e.g. via metrics.ListenAndServe) while
 	// the batch runs.
 	Metrics *metrics.Registry
+
+	// Task accounting behind Snapshot, cumulative across Run calls.
+	total   atomic.Int64
+	claimed atomic.Int64
+	settled atomic.Int64
+}
+
+// Snapshot is a point-in-time view of a pool's task accounting: how many
+// tasks are waiting for a worker, executing right now, and settled. Counts
+// are cumulative across every Run call on the pool.
+type Snapshot struct {
+	// Queued tasks have been submitted but not yet claimed by a worker.
+	Queued int `json:"queued"`
+	// Inflight tasks are executing (or being drained by cancellation).
+	Inflight int `json:"inflight"`
+	// Done tasks have settled: completed, failed, or skipped by
+	// cancellation.
+	Done int `json:"done"`
+	// Total tasks were ever submitted.
+	Total int `json:"total"`
+}
+
+// Snapshot reports the pool's current task accounting. It is safe to call
+// concurrently with Run — progress endpoints poll it while a batch is
+// mid-flight. The counts are individually atomic, so a snapshot taken
+// during a state transition may transiently disagree by one task between
+// fields; Queued and Inflight are clamped at zero.
+func (p *Pool) Snapshot() Snapshot {
+	total := int(p.total.Load())
+	claimed := int(p.claimed.Load())
+	done := int(p.settled.Load())
+	queued := total - claimed
+	if queued < 0 {
+		queued = 0
+	}
+	inflight := claimed - done
+	if inflight < 0 {
+		inflight = 0
+	}
+	return Snapshot{Queued: queued, Inflight: inflight, Done: done, Total: total}
 }
 
 // Run executes every task and returns their outcomes indexed by submission
@@ -85,6 +125,7 @@ func (p *Pool) Run(ctx context.Context, tasks []Task) []Outcome {
 	if n == 0 {
 		return outs
 	}
+	p.total.Add(int64(n))
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -101,6 +142,7 @@ func (p *Pool) Run(ctx context.Context, tasks []Task) []Outcome {
 	)
 	settle := func(out Outcome) {
 		outs[out.Index] = out
+		p.settled.Add(1)
 		if p.Metrics != nil {
 			p.Metrics.Counter("runner.runs").Inc()
 			if out.Err != nil {
@@ -128,6 +170,7 @@ func (p *Pool) Run(ctx context.Context, tasks []Task) []Outcome {
 				if i >= n {
 					return
 				}
+				p.claimed.Add(1)
 				if err := ctx.Err(); err != nil {
 					// Drain the remaining indices, marking each cancelled.
 					settle(Outcome{Index: i, Err: err})

@@ -163,3 +163,45 @@ func TestSummarize(t *testing.T) {
 		t.Errorf("summary = %+v", s)
 	}
 }
+
+func TestSnapshotTracksBatchState(t *testing.T) {
+	if s := (&Pool{}).Snapshot(); s != (Snapshot{}) {
+		t.Errorf("fresh pool snapshot = %+v, want zero", s)
+	}
+
+	const n = 8
+	release := make(chan struct{})
+	started := make(chan struct{}, n)
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = func(ctx context.Context) (wafer.Result, error) {
+			started <- struct{}{}
+			<-release
+			return wafer.Result{Cycles: 1}, nil
+		}
+	}
+	p := &Pool{Workers: 2}
+	done := make(chan []Outcome)
+	go func() { done <- p.Run(context.Background(), tasks) }()
+
+	// Wait until both workers hold a task, then observe the mid-flight
+	// state: 2 inflight, none settled, the rest queued.
+	<-started
+	<-started
+	mid := p.Snapshot()
+	if mid.Total != n || mid.Inflight != 2 || mid.Done != 0 || mid.Queued != n-2 {
+		t.Errorf("mid-flight snapshot = %+v", mid)
+	}
+	close(release)
+	<-done
+	end := p.Snapshot()
+	if end.Total != n || end.Done != n || end.Inflight != 0 || end.Queued != 0 {
+		t.Errorf("settled snapshot = %+v", end)
+	}
+
+	// Counts are cumulative across Run calls on the same pool.
+	p.Run(context.Background(), []Task{fake(0, 0)})
+	if s := p.Snapshot(); s.Total != n+1 || s.Done != n+1 {
+		t.Errorf("cumulative snapshot = %+v", s)
+	}
+}

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"hdpat/internal/metrics"
+)
+
+// Blob is one assembled artifact before storage: its name within the job
+// and its canonical bytes.
+type Blob struct {
+	Name string
+	Data []byte
+}
+
+// runName is the deterministic per-run artifact name.
+func runName(p Point) string {
+	return fmt.Sprintf("run-%d-%s-%s.json", p.Index, p.Scheme, p.Benchmark)
+}
+
+// comparisonRow is one row of the comparisons.json artifact.
+type comparisonRow struct {
+	Scheme         string  `json:"scheme"`
+	Benchmark      string  `json:"benchmark"`
+	BaselineCycles uint64  `json:"baseline_cycles"`
+	Cycles         uint64  `json:"cycles"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// AssembleArtifacts renders a finished job's artifact set from its run
+// records, deterministically: per-run canonical result JSON, a
+// comparisons.json speedup table for compare/sweep jobs, and a report.md of
+// stitched latency breakdowns when the spec asked for attribution. The
+// output depends only on (spec, results), so an interrupted-then-resumed
+// job assembles bytes identical to an uninterrupted one.
+func AssembleArtifacts(spec JobSpec, points []Point, recs []runRec) ([]Blob, error) {
+	blobs := make([]Blob, 0, len(points)+2)
+	for i, p := range points {
+		if recs[i].data == nil {
+			return nil, fmt.Errorf("service: run %d has no record", i)
+		}
+		blobs = append(blobs, Blob{Name: runName(p), Data: recs[i].data})
+	}
+
+	if spec.Kind == KindCompare || spec.Kind == KindSweep {
+		var rows []comparisonRow
+		// Points are benchmark-major with the baseline leading each group.
+		for i := 0; i < len(points); i++ {
+			if points[i].Scheme != "baseline" {
+				continue
+			}
+			base := recs[i].res
+			for k := i + 1; k < len(points) && points[k].Scheme != "baseline"; k++ {
+				res := recs[k].res
+				rows = append(rows, comparisonRow{
+					Scheme:         points[k].Scheme,
+					Benchmark:      points[k].Benchmark,
+					BaselineCycles: uint64(base.Cycles),
+					Cycles:         uint64(res.Cycles),
+					Speedup:        res.Speedup(base),
+				})
+			}
+		}
+		data, err := json.MarshalIndent(rows, "", " ")
+		if err != nil {
+			return nil, fmt.Errorf("service: marshal comparisons: %w", err)
+		}
+		blobs = append(blobs, Blob{Name: "comparisons.json", Data: data})
+	}
+
+	if spec.Attribution {
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "# Job report\n\n")
+		for i := range points {
+			if recs[i].res.Breakdown == nil {
+				continue
+			}
+			recs[i].res.Breakdown.WriteMarkdown(&buf)
+		}
+		blobs = append(blobs, Blob{Name: "report.md", Data: buf.Bytes()})
+	}
+	return blobs, nil
+}
+
+// Materialize executes every run of spec serially through run and returns
+// the job's assembled artifacts without a service or store — the reference
+// path: a daemon processing the same spec stores byte-identical artifacts.
+// cmd/hdpatd's -digest mode uses it to cross-check a served job against a
+// direct run.
+func Materialize(ctx context.Context, spec JobSpec, run RunFunc) ([]Blob, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	points := spec.Points()
+	recs := make([]runRec, len(points))
+	for i, p := range points {
+		var reg *metrics.Registry
+		if spec.Metrics {
+			reg = metrics.NewRegistry()
+		}
+		res, err := run(ctx, spec, p, reg)
+		if err != nil {
+			return nil, fmt.Errorf("service: run %d (%s/%s): %w", i, p.Scheme, p.Benchmark, err)
+		}
+		data, err := marshalResult(res)
+		if err != nil {
+			return nil, err
+		}
+		recs[i] = runRec{data: data, res: res}
+	}
+	return AssembleArtifacts(spec, points, recs)
+}

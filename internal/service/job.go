@@ -1,0 +1,213 @@
+// Package service is the long-running simulation daemon behind cmd/hdpatd:
+// an HTTP+JSON job API over the existing batch engine. Jobs — single
+// simulations, baseline comparisons, or scheme x benchmark sweeps — queue
+// through a bounded dispatcher onto internal/runner pools, stream live
+// progress (SSE or long-poll) and per-job metrics, and persist their
+// Result/Breakdown/report.md artifacts content-addressed (SHA-256) in an
+// on-disk store. Every job keeps a durable journal (accepted -> one entry
+// per completed run -> terminal), so a restarted daemon resumes an
+// interrupted sweep from the last finished run instead of from scratch;
+// because runs are deterministic, an interrupted-then-resumed job produces
+// artifacts byte-identical to an uninterrupted one.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Kind names what a job simulates.
+const (
+	// KindSimulate runs one scheme on one benchmark.
+	KindSimulate = "simulate"
+	// KindCompare runs one scheme and the baseline on one benchmark and
+	// reports the speedup.
+	KindCompare = "compare"
+	// KindSweep runs a schemes x benchmarks cross-product, each benchmark's
+	// baseline first — the CompareAll shape, and the job kind checkpoint/
+	// restore targets.
+	KindSweep = "sweep"
+)
+
+// JobSpec is the client-submitted description of a job. Its canonical JSON
+// encoding determines the job ID, so resubmitting an identical spec joins
+// the existing job instead of re-running it.
+type JobSpec struct {
+	// Kind is one of KindSimulate, KindCompare, KindSweep.
+	Kind string `json:"kind"`
+	// Scheme and Benchmark name a simulate/compare job's cell.
+	Scheme    string `json:"scheme,omitempty"`
+	Benchmark string `json:"benchmark,omitempty"`
+	// Schemes and Benchmarks span a sweep's cross-product.
+	Schemes    []string `json:"schemes,omitempty"`
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// OpsBudget is the per-CU operation budget (0 = the daemon's default).
+	OpsBudget int `json:"ops_budget,omitempty"`
+	// Seed makes the job's runs reproducible; it is part of the identity.
+	Seed int64 `json:"seed,omitempty"`
+	// Workers bounds how many of the job's runs execute concurrently
+	// (0 = the daemon's default).
+	Workers int `json:"workers,omitempty"`
+	// Attribution attaches the per-request latency ledger to every run and
+	// adds a rendered report.md artifact.
+	Attribution bool `json:"attribution,omitempty"`
+	// Metrics gives every run a private metrics registry folded into the
+	// job's registry (served on /v1/jobs/{id}/metrics). Live-only: metric
+	// values never become artifacts, so they do not affect resume identity.
+	Metrics bool `json:"metrics,omitempty"`
+}
+
+// Validate reports whether the spec is well-formed for its kind.
+func (s JobSpec) Validate() error {
+	switch s.Kind {
+	case KindSimulate, KindCompare:
+		if s.Scheme == "" || s.Benchmark == "" {
+			return fmt.Errorf("service: %s job needs scheme and benchmark", s.Kind)
+		}
+		if len(s.Schemes) > 0 || len(s.Benchmarks) > 0 {
+			return fmt.Errorf("service: %s job must not set schemes/benchmarks lists", s.Kind)
+		}
+	case KindSweep:
+		if len(s.Schemes) == 0 || len(s.Benchmarks) == 0 {
+			return fmt.Errorf("service: sweep job needs schemes and benchmarks lists")
+		}
+		if s.Scheme != "" || s.Benchmark != "" {
+			return fmt.Errorf("service: sweep job must not set scheme/benchmark")
+		}
+	case "":
+		return fmt.Errorf("service: job kind is required (%s, %s or %s)",
+			KindSimulate, KindCompare, KindSweep)
+	default:
+		return fmt.Errorf("service: unknown job kind %q", s.Kind)
+	}
+	if s.OpsBudget < 0 || s.Workers < 0 {
+		return fmt.Errorf("service: ops_budget and workers must be >= 0")
+	}
+	return nil
+}
+
+// ID derives the job's content-addressed identity: the SHA-256 of the
+// spec's canonical JSON encoding, truncated to 16 hex digits. Identical
+// specs always map to the same job.
+func (s JobSpec) ID() string {
+	data, err := json.Marshal(s)
+	if err != nil {
+		// JobSpec holds only marshalable fields; this cannot happen.
+		panic(fmt.Sprintf("service: marshal spec: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Point is one run of a job: a (scheme, benchmark) cell at the job's budget
+// and seed. Index is the run's position in the job's deterministic order —
+// the unit of checkpoint/restore.
+type Point struct {
+	Index     int
+	Scheme    string
+	Benchmark string
+}
+
+// Points expands the spec into its deterministic run list. Compare and
+// sweep jobs are benchmark-major with the baseline leading each benchmark
+// group, mirroring CompareAll's layout.
+func (s JobSpec) Points() []Point {
+	var pts []Point
+	add := func(scheme, bench string) {
+		pts = append(pts, Point{Index: len(pts), Scheme: scheme, Benchmark: bench})
+	}
+	switch s.Kind {
+	case KindSimulate:
+		add(s.Scheme, s.Benchmark)
+	case KindCompare:
+		add("baseline", s.Benchmark)
+		add(s.Scheme, s.Benchmark)
+	case KindSweep:
+		for _, bench := range s.Benchmarks {
+			add("baseline", bench)
+			for _, scheme := range s.Schemes {
+				add(scheme, bench)
+			}
+		}
+	}
+	return pts
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	// StateQueued jobs wait for a dispatcher slot (including recovered jobs
+	// waiting to resume).
+	StateQueued State = "queued"
+	// StateRunning jobs are executing on a runner pool.
+	StateRunning State = "running"
+	// StateDone jobs completed; their artifacts are in the store.
+	StateDone State = "done"
+	// StateFailed jobs hit a run error.
+	StateFailed State = "failed"
+	// StateCancelled jobs were cancelled by a client.
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Artifact names one stored output of a completed job.
+type Artifact struct {
+	// Name is the artifact's role within its job ("run-0-baseline-FIR.json",
+	// "comparisons.json", "report.md").
+	Name string `json:"name"`
+	// Digest is the SHA-256 hex of the content; fetch it from
+	// /v1/artifacts/{digest}. Identical content shares one digest across
+	// jobs (deduplication).
+	Digest string `json:"digest"`
+	// Size is the content length in bytes.
+	Size int64 `json:"size"`
+}
+
+// ProgressInfo is the live progress block of a job status.
+type ProgressInfo struct {
+	// Done and Total count settled vs planned runs, including runs restored
+	// from the journal.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Executed counts runs actually simulated by this process; Resumed
+	// counts runs restored from the journal without re-executing.
+	Executed int `json:"executed"`
+	Resumed  int `json:"resumed"`
+	// Queued and Inflight mirror the runner pool's live state while the job
+	// runs (runner.Pool.Snapshot).
+	Queued   int `json:"queued"`
+	Inflight int `json:"inflight"`
+}
+
+// Status is the JSON representation of a job served by the API.
+type Status struct {
+	ID    string  `json:"id"`
+	Spec  JobSpec `json:"spec"`
+	State State   `json:"state"`
+	// Rev increments on every observable change; long-poll clients pass it
+	// back as ?since= to wait for the next change.
+	Rev      int64        `json:"rev"`
+	Progress ProgressInfo `json:"progress"`
+	// Artifacts lists the job's stored outputs once it is done.
+	Artifacts []Artifact `json:"artifacts,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Created   string     `json:"created,omitempty"`
+	Started   string     `json:"started,omitempty"`
+	Finished  string     `json:"finished,omitempty"`
+}
+
+// stamp renders a timestamp for Status, empty when unset.
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339)
+}

@@ -2,8 +2,10 @@ package hdpat
 
 import (
 	"io"
+	"sync/atomic"
 
 	"hdpat/internal/metrics"
+	"hdpat/internal/runner"
 	"hdpat/internal/trace"
 )
 
@@ -23,6 +25,7 @@ type runConfig struct {
 	workers    int
 	domains    *int
 	progress   func(done, total int)
+	monitor    *BatchMonitor
 	perRun     func(i int) []Option
 
 	metrics     *metrics.Registry
@@ -134,6 +137,40 @@ func WithDomains(n int) Option {
 // serialised and arrive from worker goroutines. Single-run calls ignore it.
 func WithProgress(f func(done, total int)) Option {
 	return func(rc *runConfig) { rc.progress = f }
+}
+
+// BatchSnapshot is a point-in-time view of a batch's task accounting: how
+// many runs are waiting for a worker, executing right now, and settled.
+// Counts are cumulative across every batch the monitored call executes.
+type BatchSnapshot = runner.Snapshot
+
+// BatchMonitor observes a batch from outside its goroutines: attach one
+// with WithMonitor and poll Snapshot from any goroutine — a progress
+// endpoint, a TUI ticker — while RunBatch or CompareAll executes. Unlike
+// WithProgress, which pushes one callback per settled run, a monitor is
+// pull-based and also distinguishes queued from in-flight runs. The zero
+// value is ready to use; before the batch starts (and after a call that
+// never attached it) Snapshot returns the zero BatchSnapshot.
+type BatchMonitor struct {
+	pool atomic.Pointer[runner.Pool]
+}
+
+// Snapshot reports the monitored batch's current task accounting. Safe to
+// call concurrently with the batch; see BatchSnapshot for field semantics.
+func (m *BatchMonitor) Snapshot() BatchSnapshot {
+	if p := m.pool.Load(); p != nil {
+		return p.Snapshot()
+	}
+	return BatchSnapshot{}
+}
+
+// WithMonitor attaches m to the call's batch engine so its Snapshot
+// reflects the live queued/inflight/done counts. Batch entry points
+// (RunBatch, CompareAll) install it when the batch starts; single-run calls
+// ignore it. Reusing one monitor across sequential calls re-points it at
+// each new batch; passing nil disables monitoring.
+func WithMonitor(m *BatchMonitor) Option {
+	return func(rc *runConfig) { rc.monitor = m }
 }
 
 // WithMetrics has every component of the simulated system report into reg:

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Service smoke test (make service-smoke, run by CI): build hdpatd, start it
+# with a small ops cap, submit a compare job over HTTP, poll the job to
+# completion, then fetch every artifact and check its bytes hash to the
+# digest the daemon advertised AND to the digest a direct in-process run of
+# the same spec prints (`hdpatd -digest`) — the end-to-end proof that the
+# served artifacts equal a plain CompareAll run. Standard tools only
+# (curl, sed, grep, sha256sum); no jq.
+set -euo pipefail
+
+PORT="${SMOKE_PORT:-18080}"
+ADDR="127.0.0.1:${PORT}"
+BASE="http://${ADDR}"
+SPEC='{"kind":"compare","scheme":"hdpat","benchmark":"FIR","ops_budget":8,"seed":1,"attribution":true}'
+
+WORK="$(mktemp -d)"
+BIN="${WORK}/hdpatd"
+DAEMON_PID=""
+cleanup() {
+  if [[ -n "${DAEMON_PID}" ]]; then
+    kill "${DAEMON_PID}" 2>/dev/null || true
+    wait "${DAEMON_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "${BIN}" ./cmd/hdpatd
+
+echo "== reference digests (direct run, no daemon)"
+"${BIN}" -digest -spec "${SPEC}" | tee "${WORK}/expected.txt"
+[[ -s "${WORK}/expected.txt" ]] || { echo "FAIL: -digest printed nothing"; exit 1; }
+
+echo "== start daemon on ${ADDR}"
+"${BIN}" -addr "${ADDR}" -data "${WORK}/data" -max-ops 64 &
+DAEMON_PID=$!
+for i in $(seq 1 50); do
+  curl -fsS "${BASE}/healthz" >/dev/null 2>&1 && break
+  kill -0 "${DAEMON_PID}" 2>/dev/null || { echo "FAIL: daemon exited during startup"; exit 1; }
+  sleep 0.2
+done
+curl -fsS "${BASE}/healthz" >/dev/null || { echo "FAIL: daemon never became healthy"; exit 1; }
+
+echo "== submit job"
+SUBMIT="$(curl -fsS -X POST "${BASE}/v1/jobs" -H 'Content-Type: application/json' -d "${SPEC}")"
+echo "${SUBMIT}"
+JOB_ID="$(printf '%s' "${SUBMIT}" | sed -n 's/.*"id":"\([0-9a-f]\{16\}\)".*/\1/p')"
+[[ -n "${JOB_ID}" ]] || { echo "FAIL: no job id in submit response"; exit 1; }
+
+echo "== poll job ${JOB_ID}"
+STATUS=""
+for i in $(seq 1 60); do
+  STATUS="$(curl -fsS "${BASE}/v1/jobs/${JOB_ID}/progress?since=-1&timeout=5s")"
+  case "${STATUS}" in
+    *'"state":"done"'*) break ;;
+    *'"state":"failed"'*|*'"state":"cancelled"'*)
+      echo "FAIL: job terminal without success: ${STATUS}"; exit 1 ;;
+  esac
+done
+[[ "${STATUS}" == *'"state":"done"'* ]] || { echo "FAIL: job never finished: ${STATUS}"; exit 1; }
+echo "${STATUS}"
+
+echo "== verify artifacts against the direct run"
+COUNT=0
+while read -r NAME DIGEST; do
+  [[ -n "${NAME}" && -n "${DIGEST}" ]] || continue
+  # The job must advertise exactly this artifact...
+  if [[ "${STATUS}" != *"${DIGEST}"* ]]; then
+    echo "FAIL: job status is missing artifact ${NAME} (${DIGEST})"; exit 1
+  fi
+  # ...and serve bytes that hash back to the same address.
+  curl -fsS "${BASE}/v1/artifacts/${DIGEST}" -o "${WORK}/blob"
+  GOT="$(sha256sum "${WORK}/blob" | cut -d' ' -f1)"
+  if [[ "${GOT}" != "${DIGEST}" ]]; then
+    echo "FAIL: ${NAME}: served bytes hash to ${GOT}, want ${DIGEST}"; exit 1
+  fi
+  COUNT=$((COUNT + 1))
+  echo "ok ${NAME} ${DIGEST}"
+done < "${WORK}/expected.txt"
+[[ "${COUNT}" -ge 3 ]] || { echo "FAIL: only ${COUNT} artifacts checked, want >= 3"; exit 1; }
+
+echo "== resubmission deduplicates (HTTP 200, same id)"
+CODE="$(curl -sS -o "${WORK}/resubmit.json" -w '%{http_code}' -X POST "${BASE}/v1/jobs" \
+  -H 'Content-Type: application/json' -d "${SPEC}")"
+[[ "${CODE}" == "200" ]] || { echo "FAIL: resubmit returned ${CODE}, want 200"; exit 1; }
+grep -q "\"id\":\"${JOB_ID}\"" "${WORK}/resubmit.json" || { echo "FAIL: resubmit created a different job"; exit 1; }
+
+echo "PASS: service smoke (${COUNT} artifacts byte-identical to direct run)"
