@@ -1,17 +1,25 @@
 // Command hdpatd is the long-running HDPAT simulation service: an HTTP+JSON
 // API that accepts simulation/comparison/sweep jobs, runs them on the
-// parallel batch engine, streams per-job progress (SSE or long-poll) and
-// metrics, and persists Result/Breakdown/report.md artifacts under
-// content-addressed SHA-256 digests. Job journals make runs durable: a
-// restarted daemon resumes an interrupted sweep from its last finished run
-// and produces artifacts byte-identical to an uninterrupted one.
+// parallel batch engine, streams per-job progress (SSE or long-poll),
+// metrics, wall-clock timelines and flight-recorder events, and persists
+// Result/Breakdown/report.md artifacts under content-addressed SHA-256
+// digests. Job journals make runs durable: a restarted daemon resumes an
+// interrupted sweep from its last finished run and produces artifacts
+// byte-identical to an uninterrupted one.
 //
 // Serve:
 //
 //	hdpatd -addr :8080 -data ./hdpatd-data
 //	curl -XPOST localhost:8080/v1/jobs -d '{"kind":"compare","scheme":"hdpat","benchmark":"FIR","ops_budget":8,"seed":1}'
 //	curl localhost:8080/v1/jobs/<id>/progress?since=0
+//	curl localhost:8080/v1/jobs/<id>/timeline   # chrome://tracing wall-clock view
 //	curl localhost:8080/v1/artifacts/<digest>
+//
+// Operational output is structured JSON on stderr (log/slog), one object
+// per line, carrying job_id/run_id/spec_digest correlation attributes.
+// The listener binds before journal replay starts: /healthz answers
+// immediately, /readyz stays 503 until recovery finishes and flips back to
+// 503 when shutdown begins.
 //
 // One-shot digest mode (no server) runs a spec directly through the same
 // artifact-assembly path and prints "name  sha256" per artifact — the
@@ -29,10 +37,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -41,6 +51,10 @@ import (
 	"hdpat/internal/service"
 )
 
+// main parses flags and funnels every outcome through one exit path — no
+// log.Fatalf after the listener is up, so shutdown always drains the HTTP
+// server and closes the service (journal handles released, interrupted
+// jobs left resumable).
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	data := flag.String("data", "hdpatd-data", "state directory (artifacts, job journals)")
@@ -49,25 +63,39 @@ func main() {
 	jobWorkers := flag.Int("job-workers", 1, "jobs executing concurrently")
 	runWorkers := flag.Int("run-workers", 0, "default per-job run concurrency when a spec leaves workers at 0 (0 = 1, serial)")
 	waferCfg := flag.String("wafer", "7x7", "system configuration: 7x7 (Table I) or 7x12 (Fig 22)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	digest := flag.Bool("digest", false, "one-shot: run -spec locally and print its artifact digests, then exit")
 	specJSON := flag.String("spec", "", "job spec JSON for -digest mode")
 	flag.Parse()
 
-	cfg, err := systemConfig(*waferCfg)
-	if err != nil {
-		log.Fatalf("hdpatd: %v", err)
-	}
-	run := runFunc(cfg, *defOps, *maxOps)
-
-	if *digest {
-		if err := printDigests(*specJSON, run); err != nil {
-			log.Fatalf("hdpatd: %v", err)
+	logger, err := newLogger(*logLevel)
+	if err == nil {
+		var cfg hdpat.Config
+		cfg, err = systemConfig(*waferCfg)
+		if err == nil {
+			run := runFunc(cfg, *defOps, *maxOps)
+			if *digest {
+				err = printDigests(*specJSON, run)
+			} else {
+				err = serve(*addr, *data, run, *jobWorkers, *runWorkers, logger)
+			}
 		}
-		return
 	}
-	if err := serve(*addr, *data, run, *jobWorkers, *runWorkers); err != nil {
-		log.Fatalf("hdpatd: %v", err)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hdpatd: %v\n", err)
+		os.Exit(1)
 	}
+}
+
+// newLogger builds the daemon's structured logger: JSON records on stderr,
+// one object per line — machine-parseable (the smoke test pipes them
+// through jq) and greppable by job_id.
+func newLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (debug, info, warn or error)", level)
+	}
+	return slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
 }
 
 // systemConfig resolves the -wafer flag.
@@ -129,42 +157,81 @@ func printDigests(specJSON string, run service.RunFunc) error {
 	return nil
 }
 
-// serve opens the service state, mounts the API and blocks until SIGINT or
-// SIGTERM, then shuts down gracefully: the HTTP listener drains, running
-// jobs are interrupted without a terminal journal entry, and the next start
-// resumes them from their last finished run.
-func serve(addr, data string, run service.RunFunc, jobWorkers, runWorkers int) error {
+// startupHandler answers while the service is still recovering its
+// journals: /healthz is alive from the instant the port is bound, /readyz
+// (and everything else) is 503 until the real handler is swapped in.
+type startupHandler struct {
+	h atomic.Value // http.Handler, set once recovery finishes
+}
+
+func (s *startupHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, ok := s.h.Load().(http.Handler); ok {
+		h.ServeHTTP(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	if r.URL.Path == "/healthz" {
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, "starting")
+}
+
+// serve binds the listener, opens the service state behind it (journal
+// replay may take a while on a large state dir — /readyz reports 503 until
+// it finishes), then blocks until SIGINT/SIGTERM or a listener failure.
+// Every exit goes through the same graceful sequence: drain the HTTP
+// server, then Close the service so running jobs are interrupted without a
+// terminal journal entry and the next start resumes them.
+func serve(addr, data string, run service.RunFunc, jobWorkers, runWorkers int, logger *slog.Logger) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	var startup startupHandler
+	srv := &http.Server{Handler: &startup}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	logger.Info("listening", "addr", ln.Addr().String(), "data", data)
+
 	svc, err := service.Open(service.Options{
 		Dir:        data,
 		Run:        run,
 		JobWorkers: jobWorkers,
 		RunWorkers: runWorkers,
-		Logf:       log.Printf,
+		Logger:     logger,
 	})
 	if err != nil {
+		srv.Close()
+		<-errc
 		return err
 	}
-	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
+	startup.h.Store(svc.Handler())
+	logger.Info("ready", "addr", ln.Addr().String())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("hdpatd: serving on %s, state in %s", addr, data)
-
 	select {
 	case err := <-errc:
-		svc.Close()
+		// The listener died out from under us; unwind the service and
+		// surface the cause.
+		closeErr := svc.Close()
+		if err == nil || errors.Is(err, http.ErrServerClosed) {
+			err = closeErr
+		}
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("hdpatd: shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	_ = srv.Shutdown(shutdownCtx)
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Warn("http shutdown incomplete", "err", err.Error())
+	}
 	if err := svc.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintln(os.Stderr, "hdpatd: stopped; journaled jobs resume on next start")
+	logger.Info("stopped; journaled jobs resume on next start")
 	return nil
 }

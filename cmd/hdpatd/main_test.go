@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -19,10 +20,22 @@ import (
 	"hdpat/internal/service"
 )
 
+// testLogger routes the service's structured log output through t.Logf.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testWriter{t}, nil))
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
 // startDaemon opens a service over the real simulator in dir and serves it.
 func startDaemon(t *testing.T, dir string, run service.RunFunc) (*service.Service, *httptest.Server) {
 	t.Helper()
-	svc, err := service.Open(service.Options{Dir: dir, Run: run, Logf: t.Logf})
+	svc, err := service.Open(service.Options{Dir: dir, Run: run, Logger: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// InstrumentHandler wraps next so every request records, into reg:
+//
+//	http_request.count.<route>.<status>   counter
+//	http_request.latency_us.<route>       log2 histogram of wall time
+//
+// route is the registration-time pattern (e.g. "GET /v1/jobs/{id}"), so
+// cardinality is bounded by the mux's route table, never by client input.
+// The wrapper passes http.Flusher through, so SSE streams stay flushable
+// when instrumented; their latency is the full stream lifetime.
+func InstrumentHandler(reg *Registry, route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		reg.Counter("http_request.count." + route + "." + strconv.Itoa(sw.code)).Inc()
+		reg.Histogram("http_request.latency_us." + route).Observe(uint64(time.Since(start).Microseconds()))
+	})
+}
+
+// statusWriter captures the response status code for the per-status
+// counter while forwarding writes (and flushes) to the real writer.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer when it supports flushing, so
+// instrumented SSE handlers keep streaming incrementally.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

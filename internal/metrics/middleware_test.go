@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestInstrumentHandlerCountsAndLatency(t *testing.T) {
+	reg := NewRegistry()
+	h := InstrumentHandler(reg, "GET /widget/{id}", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/widget/missing" {
+			http.Error(w, "nope", http.StatusNotFound)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+
+	for _, path := range []string{"/widget/a", "/widget/b", "/widget/missing"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	}
+
+	snap := reg.Snapshot()
+	if n := snap.Counter("http_request.count.GET /widget/{id}.200"); n != 2 {
+		t.Errorf("200 count = %d, want 2", n)
+	}
+	if n := snap.Counter("http_request.count.GET /widget/{id}.404"); n != 1 {
+		t.Errorf("404 count = %d, want 1", n)
+	}
+	if c := snap.Histograms["http_request.latency_us.GET /widget/{id}"].Count; c != 3 {
+		t.Errorf("latency observations = %d, want 3", c)
+	}
+	// The route pattern sanitises into one bounded Prometheus series name.
+	if text := snap.Prometheus(); !strings.Contains(text, "hdpat_http_request_count_GET__widget__id__200") {
+		t.Errorf("exposition missing sanitised route series:\n%s", text)
+	}
+}
+
+// TestInstrumentHandlerKeepsFlusher guards the SSE contract: the wrapped
+// ResponseWriter must still satisfy http.Flusher, or streaming handlers
+// would refuse to serve once instrumented.
+func TestInstrumentHandlerKeepsFlusher(t *testing.T) {
+	reg := NewRegistry()
+	var sawFlusher bool
+	h := InstrumentHandler(reg, "GET /stream", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		sawFlusher = ok
+		if ok {
+			w.Write([]byte("data: x\n\n"))
+			fl.Flush()
+		}
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/stream", nil))
+	if !sawFlusher {
+		t.Fatal("instrumented writer lost http.Flusher")
+	}
+	if !rec.Flushed {
+		t.Error("Flush did not reach the underlying writer")
+	}
+}

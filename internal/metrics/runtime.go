@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RuntimeSampler folds Go runtime telemetry into a Registry: heap and GC
+// gauges, a goroutine count, process uptime, and a log2 histogram of GC
+// pause times. It is the wall-clock sibling of the simulator's cycle-domain
+// series — sampled at scrape time, it costs nothing while idle.
+//
+// Gauges are overwritten on every Sample; the gc_pause histogram
+// accumulates only the pauses that happened since the previous Sample, so
+// repeated scrapes never double-count a pause.
+type RuntimeSampler struct {
+	start time.Time
+
+	mu        sync.Mutex
+	lastNumGC uint32
+}
+
+// NewRuntimeSampler creates a sampler; uptime is measured from this call.
+func NewRuntimeSampler() *RuntimeSampler {
+	return &RuntimeSampler{start: time.Now()}
+}
+
+// Sample reads the runtime state and writes the go_runtime.* series into
+// reg. Safe for concurrent use; typically called once per /metrics scrape.
+func (rs *RuntimeSampler) Sample(reg *Registry) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	reg.Gauge("go_runtime.goroutines").Set(int64(runtime.NumGoroutine()))
+	reg.Gauge("go_runtime.heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	reg.Gauge("go_runtime.heap_sys_bytes").Set(int64(ms.HeapSys))
+	reg.Gauge("go_runtime.heap_objects").Set(int64(ms.HeapObjects))
+	reg.Gauge("go_runtime.next_gc_bytes").Set(int64(ms.NextGC))
+	reg.Gauge("go_runtime.gc_count").Set(int64(ms.NumGC))
+	reg.Gauge("go_runtime.uptime_seconds").Set(int64(time.Since(rs.start).Seconds()))
+
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if ms.NumGC > rs.lastNumGC {
+		h := reg.Histogram("go_runtime.gc_pause_us")
+		n := ms.NumGC - rs.lastNumGC
+		// PauseNs is a 256-entry circular buffer; older pauses are gone.
+		if n > uint32(len(ms.PauseNs)) {
+			n = uint32(len(ms.PauseNs))
+		}
+		for i := ms.NumGC - n; i < ms.NumGC; i++ {
+			h.Observe(ms.PauseNs[i%uint32(len(ms.PauseNs))] / 1000)
+		}
+		rs.lastNumGC = ms.NumGC
+	}
+}

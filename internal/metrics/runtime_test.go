@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeSamplerGauges(t *testing.T) {
+	reg := NewRegistry()
+	rs := NewRuntimeSampler()
+	rs.Sample(reg)
+	snap := reg.Snapshot()
+	if g := snap.Gauge("go_runtime.goroutines"); g < 1 {
+		t.Errorf("goroutines = %d, want >= 1", g)
+	}
+	if g := snap.Gauge("go_runtime.heap_alloc_bytes"); g <= 0 {
+		t.Errorf("heap_alloc_bytes = %d, want > 0", g)
+	}
+	if g := snap.Gauge("go_runtime.heap_sys_bytes"); g <= 0 {
+		t.Errorf("heap_sys_bytes = %d, want > 0", g)
+	}
+	for _, name := range []string{
+		"go_runtime.heap_objects", "go_runtime.next_gc_bytes",
+		"go_runtime.gc_count", "go_runtime.uptime_seconds",
+	} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("gauge %s not sampled", name)
+		}
+	}
+}
+
+func TestRuntimeSamplerGCPausesNoDoubleCount(t *testing.T) {
+	reg := NewRegistry()
+	rs := NewRuntimeSampler()
+	rs.Sample(reg) // establish the GC baseline
+	base := reg.Snapshot().Histograms["go_runtime.gc_pause_us"].Count
+
+	runtime.GC()
+	runtime.GC()
+	rs.Sample(reg)
+	after := reg.Snapshot().Histograms["go_runtime.gc_pause_us"].Count
+	if after < base+2 {
+		t.Errorf("gc_pause_us count = %d after 2 forced GCs (baseline %d)", after, base)
+	}
+
+	// A sample with no intervening GC must not re-observe old pauses.
+	rs.Sample(reg)
+	if again := reg.Snapshot().Histograms["go_runtime.gc_pause_us"].Count; again != after {
+		t.Errorf("idle sample changed gc_pause_us count: %d -> %d", after, again)
+	}
+}
+
+func TestRuntimeSeriesPrometheusNames(t *testing.T) {
+	reg := NewRegistry()
+	NewRuntimeSampler().Sample(reg)
+	text := reg.Snapshot().Prometheus()
+	for _, want := range []string{"hdpat_go_runtime_goroutines", "hdpat_go_runtime_heap_alloc_bytes"} {
+		if !strings.Contains(text, want+" ") {
+			t.Errorf("exposition missing %s:\n%s", want, text)
+		}
+	}
+}

@@ -42,6 +42,10 @@ type Outcome struct {
 	// Wall is the task's wall-clock execution time (zero for tasks the
 	// cancellation path skipped).
 	Wall time.Duration
+	// Start is the wall-clock instant the task began executing (zero for
+	// tasks the cancellation path skipped) — with Wall it bounds the run's
+	// real-time span for wall-clock timelines.
+	Start time.Time
 }
 
 // PanicError wraps a panic recovered from a task, so one broken scheme run
@@ -188,6 +192,7 @@ func (p *Pool) Run(ctx context.Context, tasks []Task) []Outcome {
 func execute(ctx context.Context, i int, task Task) (out Outcome) {
 	out.Index = i
 	start := time.Now()
+	out.Start = start
 	defer func() {
 		out.Wall = time.Since(start)
 		if v := recover(); v != nil {

@@ -1,0 +1,166 @@
+package service
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+)
+
+// Event is one flight-recorder entry: a structured log record captured in
+// the job's bounded ring buffer, served by GET /v1/jobs/{id}/events for
+// post-mortem debugging of failed or wedged jobs.
+type Event struct {
+	// Time is the record's RFC 3339 wall-clock stamp with sub-second
+	// precision.
+	Time string `json:"time"`
+	// Level is the slog level string ("INFO", "WARN", ...).
+	Level string `json:"level"`
+	// Msg is the log message.
+	Msg string `json:"msg"`
+	// Attrs carries the record's attributes, group names flattened into
+	// dotted keys.
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// flightRecorder is a bounded ring of recent Events. Writes never block
+// and never grow past the capacity: once full, each new event evicts the
+// oldest, and Dropped counts the evictions.
+type flightRecorder struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	full  bool
+	total uint64
+}
+
+func newFlightRecorder(capacity int) *flightRecorder {
+	if capacity <= 0 {
+		capacity = defaultFlightEvents
+	}
+	return &flightRecorder{buf: make([]Event, capacity)}
+}
+
+func (f *flightRecorder) add(e Event) {
+	f.mu.Lock()
+	f.buf[f.next] = e
+	f.next++
+	f.total++
+	if f.next == len(f.buf) {
+		f.next = 0
+		f.full = true
+	}
+	f.mu.Unlock()
+}
+
+// Events returns the buffered events oldest-first.
+func (f *flightRecorder) Events() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.full {
+		return append([]Event(nil), f.buf[:f.next]...)
+	}
+	out := make([]Event, 0, len(f.buf))
+	out = append(out, f.buf[f.next:]...)
+	return append(out, f.buf[:f.next]...)
+}
+
+// Dropped reports how many events the ring has evicted.
+func (f *flightRecorder) Dropped() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.full {
+		return 0
+	}
+	return f.total - uint64(len(f.buf))
+}
+
+// ringHandler is a slog.Handler that records every log line into a
+// flightRecorder. Composed (via teeHandler) with the service's output
+// handler, it gives each job logger a second destination: the job's own
+// bounded post-mortem buffer.
+type ringHandler struct {
+	rec    *flightRecorder
+	prefix string
+	attrs  []slog.Attr
+}
+
+func (h *ringHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *ringHandler) Handle(_ context.Context, r slog.Record) error {
+	e := Event{
+		Time:  r.Time.UTC().Format("2006-01-02T15:04:05.000000Z07:00"),
+		Level: r.Level.String(),
+		Msg:   r.Message,
+	}
+	n := len(h.attrs) + r.NumAttrs()
+	if n > 0 {
+		e.Attrs = make(map[string]any, n)
+		for _, a := range h.attrs {
+			flattenAttr(e.Attrs, "", a)
+		}
+		r.Attrs(func(a slog.Attr) bool {
+			flattenAttr(e.Attrs, h.prefix, a)
+			return true
+		})
+	}
+	h.rec.add(e)
+	return nil
+}
+
+func (h *ringHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	nh.attrs = make([]slog.Attr, 0, len(h.attrs)+len(attrs))
+	nh.attrs = append(nh.attrs, h.attrs...)
+	for _, a := range attrs {
+		a.Key = h.prefix + a.Key
+		nh.attrs = append(nh.attrs, a)
+	}
+	return &nh
+}
+
+func (h *ringHandler) WithGroup(name string) slog.Handler {
+	nh := *h
+	nh.prefix = h.prefix + name + "."
+	return &nh
+}
+
+// flattenAttr folds one attribute into m, dotting group names into the key.
+func flattenAttr(m map[string]any, prefix string, a slog.Attr) {
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		for _, ga := range v.Group() {
+			flattenAttr(m, prefix+a.Key+".", ga)
+		}
+		return
+	}
+	m[prefix+a.Key] = v.Any()
+}
+
+// teeHandler fans one log record out to two handlers — the service's
+// output stream and a job's flight recorder.
+type teeHandler struct{ a, b slog.Handler }
+
+func (t teeHandler) Enabled(ctx context.Context, l slog.Level) bool {
+	return t.a.Enabled(ctx, l) || t.b.Enabled(ctx, l)
+}
+
+func (t teeHandler) Handle(ctx context.Context, r slog.Record) error {
+	var err error
+	if t.a.Enabled(ctx, r.Level) {
+		err = t.a.Handle(ctx, r)
+	}
+	if t.b.Enabled(ctx, r.Level) {
+		if e := t.b.Handle(ctx, r); err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+func (t teeHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return teeHandler{a: t.a.WithAttrs(attrs), b: t.b.WithAttrs(attrs)}
+}
+
+func (t teeHandler) WithGroup(name string) slog.Handler {
+	return teeHandler{a: t.a.WithGroup(name), b: t.b.WithGroup(name)}
+}

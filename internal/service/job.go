@@ -93,13 +93,20 @@ func (s JobSpec) Validate() error {
 // spec's canonical JSON encoding, truncated to 16 hex digits. Identical
 // specs always map to the same job.
 func (s JobSpec) ID() string {
+	return s.Digest()[:16]
+}
+
+// Digest is the full SHA-256 hex of the spec's canonical JSON encoding —
+// the untruncated form of ID, used as the spec_digest correlation
+// attribute on structured log lines.
+func (s JobSpec) Digest() string {
 	data, err := json.Marshal(s)
 	if err != nil {
 		// JobSpec holds only marshalable fields; this cannot happen.
 		panic(fmt.Sprintf("service: marshal spec: %v", err))
 	}
 	sum := sha256.Sum256(data)
-	return hex.EncodeToString(sum[:8])
+	return hex.EncodeToString(sum[:])
 }
 
 // Point is one run of a job: a (scheme, benchmark) cell at the job's budget
@@ -198,7 +205,13 @@ type Status struct {
 	Progress ProgressInfo `json:"progress"`
 	// Artifacts lists the job's stored outputs once it is done.
 	Artifacts []Artifact `json:"artifacts,omitempty"`
-	Error     string     `json:"error,omitempty"`
+	// Timeline is the store digest of the job's persisted wall-clock trace
+	// once terminal (GET /v1/jobs/{id}/timeline serves it). Wall-clock data
+	// is nondeterministic, so the timeline is deliberately not an Artifact:
+	// the artifact list stays byte-identical across interrupted-and-resumed
+	// executions.
+	Timeline string `json:"timeline,omitempty"`
+	Error    string `json:"error,omitempty"`
 	Created   string     `json:"created,omitempty"`
 	Started   string     `json:"started,omitempty"`
 	Finished  string     `json:"finished,omitempty"`

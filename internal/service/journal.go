@@ -37,6 +37,10 @@ type journalEntry struct {
 	Artifacts []Artifact `json:"artifacts,omitempty"`
 	// Error rides the failed entry.
 	Error string `json:"error,omitempty"`
+	// Timeline rides terminal entries: the store digest of the job's
+	// wall-clock Chrome trace. It is live observability, not part of the
+	// artifact byte contract, so it never appears in Artifacts.
+	Timeline string `json:"timeline,omitempty"`
 	// Time is the wall-clock unix-seconds stamp of the entry; recovery
 	// orders re-enqueued jobs by their accepted stamp.
 	Time int64 `json:"time"`
@@ -108,6 +112,9 @@ type journalState struct {
 	terminal  string
 	artifacts []Artifact
 	errMsg    string
+	// timeline is the stored wall-clock trace digest from the terminal
+	// entry, when one was persisted.
+	timeline string
 }
 
 // readJournal replays one job's journal file. Lines that fail to parse
@@ -141,11 +148,14 @@ func readJournal(path string) (journalState, error) {
 		case evDone:
 			st.terminal = evDone
 			st.artifacts = e.Artifacts
+			st.timeline = e.Timeline
 		case evFailed:
 			st.terminal = evFailed
 			st.errMsg = e.Error
+			st.timeline = e.Timeline
 		case evCancelled:
 			st.terminal = evCancelled
+			st.timeline = e.Timeline
 		}
 	}
 	return st, sc.Err()

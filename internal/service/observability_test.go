@@ -1,0 +1,331 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hdpat/internal/metrics"
+	"hdpat/internal/wafer"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	rec := newFlightRecorder(4)
+	if got := rec.Events(); len(got) != 0 || rec.Dropped() != 0 {
+		t.Fatalf("fresh ring: %d events, %d dropped", len(got), rec.Dropped())
+	}
+	for i := 0; i < 6; i++ {
+		rec.add(Event{Msg: fmt.Sprintf("e%d", i)})
+	}
+	events := rec.Events()
+	if len(events) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(events))
+	}
+	// Oldest-first, with the two oldest evicted.
+	for i, e := range events {
+		if want := fmt.Sprintf("e%d", i+2); e.Msg != want {
+			t.Errorf("event %d = %q, want %q", i, e.Msg, want)
+		}
+	}
+	if rec.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", rec.Dropped())
+	}
+}
+
+// TestTimelineEndpoint asserts the /timeline payload is structurally valid
+// Chrome trace_event JSON covering the job lifecycle, and that the
+// persisted timeline digest stays out of the deterministic artifact list.
+func TestTimelineEndpoint(t *testing.T) {
+	_, srv := serveTest(t, nil)
+	spec := JobSpec{Kind: KindCompare, Scheme: "hdpat", Benchmark: "FIR", Seed: 3, OpsBudget: 8}
+	st, _ := postJob(t, srv, spec)
+	final := pollDone(t, srv, st.ID)
+	if final.Timeline == "" {
+		t.Fatal("terminal status has no timeline digest")
+	}
+	for _, a := range final.Artifacts {
+		if a.Digest == final.Timeline {
+			t.Errorf("timeline digest leaked into artifact list as %s", a.Name)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + st.ID + "/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if etag := resp.Header.Get("ETag"); etag != `"`+final.Timeline+`"` {
+		t.Errorf("ETag = %q, want the persisted digest", etag)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("timeline is not a JSON array of events: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("timeline has no events")
+	}
+	names := map[string]bool{}
+	for i, e := range events {
+		for _, field := range []string{"ph", "name", "ts", "pid", "tid"} {
+			if _, ok := e[field]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, field, e)
+			}
+		}
+		names[e["name"].(string)] = true
+	}
+	for _, want := range []string{"accepted", "queued", "running", "artifact-write", "done"} {
+		if !names[want] {
+			t.Errorf("timeline missing %q span/instant; have %v", want, names)
+		}
+	}
+	// Per-run spans carry the (scheme, benchmark) cell in the name.
+	var runSpans int
+	for n := range names {
+		if strings.HasPrefix(n, "run ") {
+			runSpans++
+		}
+	}
+	if runSpans != len(spec.Points()) {
+		t.Errorf("timeline has %d run spans, want %d", runSpans, len(spec.Points()))
+	}
+}
+
+// TestTimelineSurvivesRestart checks a recovered terminal job still serves
+// its persisted wall-clock trace: the digest rides the terminal journal
+// entry and resolves in the content-addressed store after reopen.
+func TestTimelineSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	spec := JobSpec{Kind: KindCompare, Scheme: "hdpat", Benchmark: "SPMV", Seed: 4, OpsBudget: 8}
+
+	svc := open(t, dir, nil)
+	j, _, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, j, StateDone)
+	svc.Close()
+	if final.Timeline == "" {
+		t.Fatal("no timeline digest before restart")
+	}
+
+	svc2 := open(t, dir, nil)
+	defer svc2.Close()
+	j2, ok := svc2.Get(spec.ID())
+	if !ok {
+		t.Fatal("job not recovered")
+	}
+	st := j2.Status()
+	if st.Timeline != final.Timeline {
+		t.Fatalf("recovered timeline digest %q, want %q", st.Timeline, final.Timeline)
+	}
+	data, err := svc2.Store().Get(st.Timeline)
+	if err != nil {
+		t.Fatalf("persisted timeline not in store: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil || len(events) == 0 {
+		t.Fatalf("persisted timeline unparseable (%d events): %v", len(events), err)
+	}
+}
+
+func TestReadyzFlipsOnClose(t *testing.T) {
+	svc, srv := serveTest(t, nil)
+	code := getJSON(t, srv.URL+"/readyz", nil)
+	if code != http.StatusOK {
+		t.Fatalf("readyz while open = %d", code)
+	}
+	if getJSON(t, srv.URL+"/healthz", nil) != http.StatusOK {
+		t.Fatal("healthz while open != 200")
+	}
+	svc.Close()
+	if code := getJSON(t, srv.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz after close = %d, want 503", code)
+	}
+	// Liveness is unaffected by drain.
+	if getJSON(t, srv.URL+"/healthz", nil) != http.StatusOK {
+		t.Error("healthz after close != 200")
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	_, srv := serveTest(t, nil)
+	spec := JobSpec{Kind: KindCompare, Scheme: "hdpat", Benchmark: "FIR", Seed: 5, OpsBudget: 8}
+	st, _ := postJob(t, srv, spec)
+	pollDone(t, srv, st.ID)
+
+	var body struct {
+		Events  []Event `json:"events"`
+		Dropped uint64  `json:"dropped"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+st.ID+"/events", &body); code != http.StatusOK {
+		t.Fatalf("events = %d", code)
+	}
+	if len(body.Events) == 0 {
+		t.Fatal("flight recorder empty after a completed job")
+	}
+	if body.Dropped != 0 {
+		t.Errorf("dropped = %d for a short job", body.Dropped)
+	}
+	msgs := map[string]bool{}
+	for _, e := range body.Events {
+		if e.Time == "" || e.Level == "" || e.Msg == "" {
+			t.Fatalf("malformed event: %+v", e)
+		}
+		if e.Attrs["job_id"] != st.ID {
+			t.Errorf("event %q missing job_id correlation: %v", e.Msg, e.Attrs)
+		}
+		msgs[e.Msg] = true
+	}
+	for _, want := range []string{"job accepted", "job running", "job done"} {
+		if !msgs[want] {
+			t.Errorf("flight recorder missing %q; have %v", want, msgs)
+		}
+	}
+}
+
+// TestAggregateMetricsExposition checks /metrics carries the runtime
+// telemetry and per-route HTTP series the smoke test scrapes for.
+func TestAggregateMetricsExposition(t *testing.T) {
+	_, srv := serveTest(t, nil)
+	if getJSON(t, srv.URL+"/healthz", nil) != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"hdpat_go_runtime_goroutines",
+		"hdpat_go_runtime_heap_alloc_bytes",
+		"hdpat_http_request_count_GET__healthz_200",
+		"hdpat_http_request_latency_us_GET__healthz",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestSSEDisconnectReconnect is the streaming-resume contract: a client
+// that drops its SSE stream mid-job and falls back to ?since= long-polls
+// observes a single strictly-increasing revision sequence with no
+// duplicates and monotone progress, through to the terminal state.
+func TestSSEDisconnectReconnect(t *testing.T) {
+	step := make(chan struct{})
+	gated := func(ctx context.Context, spec JobSpec, p Point, reg *metrics.Registry) (wafer.Result, error) {
+		select {
+		case <-step:
+		case <-ctx.Done():
+			return wafer.Result{}, ctx.Err()
+		}
+		return fakeRun(ctx, spec, p, reg)
+	}
+	_, srv := serveTest(t, gated)
+	spec := sweepSpec()
+	total := len(spec.Points())
+	st, code := postJob(t, srv, spec)
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d", code)
+	}
+
+	// Phase 1: stream SSE, release two runs, then drop the connection.
+	req, err := http.NewRequest("GET", srv.URL+"/v1/jobs/"+st.ID+"/progress", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	const allow = 2
+	go func() {
+		for i := 0; i < allow; i++ {
+			step <- struct{}{}
+		}
+	}()
+
+	seen := map[int64]bool{}
+	lastRev := int64(-1)
+	lastDone := 0
+	record := func(s Status) {
+		if s.Rev <= lastRev {
+			t.Fatalf("revision regressed or repeated: %d after %d", s.Rev, lastRev)
+		}
+		if seen[s.Rev] {
+			t.Fatalf("duplicate revision %d", s.Rev)
+		}
+		if s.Progress.Done < lastDone {
+			t.Fatalf("progress went backwards: %d after %d", s.Progress.Done, lastDone)
+		}
+		seen[s.Rev] = true
+		lastRev = s.Rev
+		lastDone = s.Progress.Done
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	for lastDone < allow && sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var s Status
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &s); err != nil {
+			t.Fatalf("bad SSE data line %q: %v", line, err)
+		}
+		record(s)
+	}
+	resp.Body.Close() // the mid-stream disconnect
+	if lastDone < allow {
+		t.Fatalf("stream ended early: done=%d (%v)", lastDone, sc.Err())
+	}
+
+	// Phase 2: release the rest and resume with long-polls from the last
+	// revision the dropped stream delivered.
+	go func() {
+		for i := 0; i < total-allow; i++ {
+			step <- struct{}{}
+		}
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job never settled after reconnect")
+		}
+		var s Status
+		url := srv.URL + "/v1/jobs/" + st.ID + "/progress?since=" + strconv.FormatInt(lastRev, 10) + "&timeout=5s"
+		if code := getJSON(t, url, &s); code != http.StatusOK {
+			t.Fatalf("long-poll = %d", code)
+		}
+		if s.Rev == lastRev {
+			continue // long-poll timeout with no change; same cursor, not a gap
+		}
+		record(s)
+		if s.State.Terminal() {
+			if s.State != StateDone || s.Progress.Done != total {
+				t.Fatalf("terminal = %s done=%d/%d (%s)", s.State, s.Progress.Done, total, s.Error)
+			}
+			return
+		}
+	}
+}

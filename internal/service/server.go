@@ -23,32 +23,57 @@ import (
 //	                                long-poll (?since=REV&timeout=30s)
 //	GET    /v1/jobs/{id}/metrics    per-job Prometheus text exposition
 //	GET    /v1/jobs/{id}/metrics.json  per-job JSON snapshot
+//	GET    /v1/jobs/{id}/timeline   wall-clock Chrome trace_event JSON
+//	GET    /v1/jobs/{id}/events     flight-recorder ring (recent log events)
 //	GET    /v1/artifacts            artifact index (digest -> size)
 //	GET    /v1/artifacts/{digest}   artifact content by SHA-256 hex digest
 //	GET    /metrics                 aggregate exposition across all jobs
 //	GET    /metrics.json            aggregate JSON snapshot
 //	GET    /healthz                 liveness
+//	GET    /readyz                  readiness (journal replay + store index)
 //
 // Per-job metrics reuse the same handlers ServeMetrics mounts per-process
-// (internal/metrics), lifted to one registry per job.
+// (internal/metrics), lifted to one registry per job. Every route is
+// wrapped in metrics.InstrumentHandler, so the aggregate /metrics carries
+// per-route/per-status http_request.count counters and
+// http_request.latency_us log2 histograms keyed by registration pattern.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, metrics.InstrumentHandler(s.reg, pattern, h))
+	}
+	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
-	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
-	mux.HandleFunc("GET /v1/jobs/{id}/metrics.json", s.handleJobMetricsJSON)
-	mux.HandleFunc("GET /v1/artifacts", s.handleArtifactIndex)
-	mux.HandleFunc("GET /v1/artifacts/{digest}", s.handleArtifact)
-	mux.HandleFunc("GET /metrics", s.handleAggregate)
-	mux.HandleFunc("GET /metrics.json", s.handleAggregateJSON)
+	handle("GET /readyz", s.handleReadyz)
+	handle("POST /v1/jobs", s.handleSubmit)
+	handle("GET /v1/jobs", s.handleList)
+	handle("GET /v1/jobs/{id}", s.handleJob)
+	handle("DELETE /v1/jobs/{id}", s.handleCancel)
+	handle("GET /v1/jobs/{id}/progress", s.handleProgress)
+	handle("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
+	handle("GET /v1/jobs/{id}/metrics.json", s.handleJobMetricsJSON)
+	handle("GET /v1/jobs/{id}/timeline", s.handleTimeline)
+	handle("GET /v1/jobs/{id}/events", s.handleEvents)
+	handle("GET /v1/artifacts", s.handleArtifactIndex)
+	handle("GET /v1/artifacts/{digest}", s.handleArtifact)
+	handle("GET /metrics", s.handleAggregate)
+	handle("GET /metrics.json", s.handleAggregateJSON)
 	return mux
+}
+
+// handleReadyz distinguishes readiness from liveness: 200 only between the
+// end of journal replay / store index load and the start of shutdown, so
+// orchestrators route traffic to daemons that can actually serve state.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	if !s.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready")
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 // writeJSON writes v as a JSON response.
@@ -219,6 +244,43 @@ func (s *Service) handleJobMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	if j, ok := s.job(w, r); ok {
 		metrics.JSONHandler(j.Registry()).ServeHTTP(w, r)
 	}
+}
+
+// handleTimeline serves the job's wall-clock trace as Chrome trace_event
+// JSON: the persisted object for terminal jobs (including jobs recovered
+// from a previous process), a live render of the spans recorded so far
+// otherwise.
+func (s *Service) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if digest := j.TimelineDigest(); digest != "" {
+		if data, err := s.store.Get(digest); err == nil {
+			w.Header().Set("ETag", `"`+digest+`"`)
+			_, _ = w.Write(data)
+			return
+		}
+		// Store miss (pruned object tree): fall through to the live render.
+	}
+	_, _ = w.Write(j.RenderTimeline())
+}
+
+// eventsBody is the /v1/jobs/{id}/events payload.
+type eventsBody struct {
+	Events []Event `json:"events"`
+	// Dropped counts older events the bounded ring evicted.
+	Dropped uint64 `json:"dropped"`
+}
+
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	events, dropped := j.Events()
+	writeJSON(w, http.StatusOK, eventsBody{Events: events, Dropped: dropped})
 }
 
 func (s *Service) handleArtifactIndex(w http.ResponseWriter, r *http.Request) {

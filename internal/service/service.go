@@ -5,14 +5,22 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hdpat/internal/metrics"
 	"hdpat/internal/runner"
+	"hdpat/internal/trace"
 	"hdpat/internal/wafer"
 )
+
+// defaultFlightEvents bounds each job's flight-recorder ring when
+// Options.FlightEvents is 0.
+const defaultFlightEvents = 256
 
 // RunFunc executes one run of a job: the point's scheme on its benchmark at
 // the spec's budget and seed. cmd/hdpatd supplies one built on the public
@@ -37,8 +45,14 @@ type Options struct {
 	RunWorkers int
 	// QueueDepth bounds jobs waiting for a dispatcher (default 1024).
 	QueueDepth int
-	// Logf, when set, receives operational log lines.
-	Logf func(format string, args ...any)
+	// Logger receives structured operational log records (nil = discard).
+	// Job-scoped records carry job_id and spec_digest attributes, run-scoped
+	// records additionally run_id/scheme/benchmark, and every job-scoped
+	// record is also captured in that job's flight-recorder ring
+	// (GET /v1/jobs/{id}/events).
+	Logger *slog.Logger
+	// FlightEvents bounds each job's flight-recorder ring (default 256).
+	FlightEvents int
 }
 
 // ErrClosed reports an operation on a closed service.
@@ -53,10 +67,18 @@ var ErrNotFound = errors.New("service: job not found")
 type Service struct {
 	opts  Options
 	store *Store
+	log   *slog.Logger
 	// reg carries service-level series (jobs accepted/done, runs
-	// executed/resumed); per-job series live on each job's registry and are
-	// merged into the /metrics aggregate at scrape time.
+	// executed/resumed) plus the wall-clock HTTP and runtime series; per-job
+	// series live on each job's registry and are merged into the /metrics
+	// aggregate at scrape time.
 	reg *metrics.Registry
+	// runtime samples Go runtime telemetry (heap, GC pauses, goroutines,
+	// uptime) into reg at scrape time.
+	runtime *metrics.RuntimeSampler
+	// ready flips true once journal replay and the store index load are
+	// done, and false when Close begins — the /readyz signal.
+	ready atomic.Bool
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -77,6 +99,15 @@ type Job struct {
 
 	reg *metrics.Registry
 	jr  *journal
+	// log is the job-scoped structured logger: every record goes to the
+	// service's output handler (tagged job_id/spec_digest) and into the
+	// job's flight-recorder ring.
+	log    *slog.Logger
+	flight *flightRecorder
+	// tl records the job's wall-clock lifecycle spans; the rendered Chrome
+	// trace is served at /v1/jobs/{id}/timeline and persisted to the store
+	// when the job settles.
+	tl *timeline
 
 	mu        sync.Mutex
 	state     State
@@ -97,25 +128,52 @@ type Job struct {
 	created   time.Time
 	started   time.Time
 	finished  time.Time
+	// timelineDigest addresses the persisted wall-clock trace once the job
+	// is terminal (restored from the journal for recovered jobs).
+	timelineDigest string
 }
 
-func newJob(id string, spec JobSpec, jr *journal) *Job {
+func newJob(id string, spec JobSpec, jr *journal, logger *slog.Logger, flightCap int) *Job {
+	created := time.Now()
+	flight := newFlightRecorder(flightCap)
 	return &Job{
-		ID:        id,
-		Spec:      spec,
-		reg:       metrics.NewRegistry(),
-		jr:        jr,
+		ID:   id,
+		Spec: spec,
+		reg:  metrics.NewRegistry(),
+		jr:   jr,
+		log: slog.New(teeHandler{a: logger.Handler(), b: &ringHandler{rec: flight}}).
+			With("job_id", id, "spec_digest", spec.Digest()),
+		flight:    flight,
+		tl:        newTimeline(created),
 		state:     StateQueued,
 		changed:   make(chan struct{}),
 		completed: make(map[int]string),
 		total:     len(spec.Points()),
-		created:   time.Now(),
+		created:   created,
 	}
 }
 
 // Registry returns the job's metrics registry (the /v1/jobs/{id}/metrics
 // source). Safe to scrape while the job runs.
 func (j *Job) Registry() *metrics.Registry { return j.reg }
+
+// Events returns the job's flight-recorder contents oldest-first plus the
+// count of evicted events — the /v1/jobs/{id}/events payload.
+func (j *Job) Events() (events []Event, dropped uint64) {
+	return j.flight.Events(), j.flight.Dropped()
+}
+
+// TimelineDigest returns the store digest of the persisted wall-clock
+// trace ("" while the job is live or when none was persisted).
+func (j *Job) TimelineDigest() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.timelineDigest
+}
+
+// RenderTimeline renders the job's wall-clock spans recorded so far as
+// Chrome trace_event JSON — the live view behind /v1/jobs/{id}/timeline.
+func (j *Job) RenderTimeline() []byte { return j.tl.render() }
 
 // notifyLocked bumps the revision and wakes every waiter. Callers hold j.mu.
 func (j *Job) notifyLocked() {
@@ -140,6 +198,7 @@ func (j *Job) Status() Status {
 			Resumed:  j.resumed,
 		},
 		Artifacts: append([]Artifact(nil), j.artifacts...),
+		Timeline:  j.timelineDigest,
 		Error:     j.errMsg,
 		Created:   stamp(j.created),
 		Started:   stamp(j.started),
@@ -196,7 +255,10 @@ func Open(opts Options) (*Service, error) {
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 1024
 	}
-	store, err := OpenStore(opts.Dir + "/artifacts")
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	store, err := OpenStore(opts.Dir+"/artifacts", opts.Logger)
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +266,9 @@ func Open(opts Options) (*Service, error) {
 	s := &Service{
 		opts:      opts,
 		store:     store,
+		log:       opts.Logger,
 		reg:       metrics.NewRegistry(),
+		runtime:   metrics.NewRuntimeSampler(),
 		baseCtx:   ctx,
 		cancelAll: cancel,
 		queue:     make(chan *Job, opts.QueueDepth),
@@ -218,8 +282,16 @@ func Open(opts Options) (*Service, error) {
 	for w := 0; w < opts.JobWorkers; w++ {
 		go s.dispatch()
 	}
+	s.ready.Store(true)
+	s.log.Info("service open", "dir", opts.Dir, "jobs", len(s.jobs),
+		"store_objects", store.Len(), "job_workers", opts.JobWorkers)
 	return s, nil
 }
+
+// Ready reports whether the service finished journal replay and loaded the
+// store index, and has not begun shutting down — the /readyz signal, as
+// opposed to /healthz liveness.
+func (s *Service) Ready() bool { return s.ready.Load() }
 
 // recover replays every journal under the state dir: terminal jobs are
 // re-registered as completed history, interrupted jobs re-enqueue ordered
@@ -241,13 +313,14 @@ func (s *Service) recover() error {
 	})
 	for _, st := range ordered {
 		if got := st.spec.ID(); got != st.id {
-			s.logf("service: skipping job dir %s: spec hashes to %s", st.id, got)
+			s.log.Warn("skipping job dir: spec hash mismatch", "job_id", st.id, "hashed", got)
 			continue
 		}
 		if st.terminal != "" {
-			j := newJob(st.id, st.spec, nil)
+			j := newJob(st.id, st.spec, nil, s.opts.Logger, s.opts.FlightEvents)
 			j.artifacts = st.artifacts
 			j.errMsg = st.errMsg
+			j.timelineDigest = st.timeline
 			j.done = len(st.completed)
 			for i, d := range st.completed {
 				j.completed[i] = d
@@ -269,7 +342,7 @@ func (s *Service) recover() error {
 		if err != nil {
 			return err
 		}
-		j := newJob(st.id, st.spec, jr)
+		j := newJob(st.id, st.spec, jr, s.opts.Logger, s.opts.FlightEvents)
 		for i, d := range st.completed {
 			if s.store.Has(d) {
 				j.completed[i] = d
@@ -279,15 +352,10 @@ func (s *Service) recover() error {
 		s.order = append(s.order, st.id)
 		s.queue <- j
 		s.reg.Counter("service.jobs_recovered").Inc()
-		s.logf("service: recovered job %s (%d/%d runs journaled)", st.id, len(j.completed), j.total)
+		j.log.Info("job recovered; re-enqueued",
+			"runs_journaled", len(j.completed), "runs_total", j.total)
 	}
 	return nil
-}
-
-func (s *Service) logf(format string, args ...any) {
-	if s.opts.Logf != nil {
-		s.opts.Logf(format, args...)
-	}
 }
 
 // Store exposes the artifact store (read paths of the HTTP layer).
@@ -318,7 +386,7 @@ func (s *Service) Submit(spec JobSpec) (j *Job, existed bool, err error) {
 		s.mu.Unlock()
 		return nil, false, err
 	}
-	j = newJob(id, spec, jr)
+	j = newJob(id, spec, jr, s.opts.Logger, s.opts.FlightEvents)
 	select {
 	case s.queue <- j:
 	default:
@@ -333,6 +401,8 @@ func (s *Service) Submit(spec JobSpec) (j *Job, existed bool, err error) {
 		return nil, false, err
 	}
 	s.reg.Counter("service.jobs_accepted").Inc()
+	j.tl.instant("job", "accepted", j.created)
+	j.log.Info("job accepted", "kind", spec.Kind, "runs", j.total)
 	return j, false, nil
 }
 
@@ -377,14 +447,21 @@ func (s *Service) Cancel(id string) error {
 	}
 	j.mu.Unlock()
 	if queued {
+		j.tl.instant("job", "cancelled", time.Now())
+		tlDigest := s.persistTimeline(j)
 		if j.jr != nil {
-			if err := j.jr.append(journalEntry{T: evCancelled}); err != nil {
+			if err := j.jr.append(journalEntry{T: evCancelled, Timeline: tlDigest}); err != nil {
 				return err
 			}
 		}
+		j.mu.Lock()
+		j.timelineDigest = tlDigest
+		j.mu.Unlock()
 		s.reg.Counter("service.jobs_cancelled").Inc()
+		j.log.Info("job cancelled while queued")
 		return nil
 	}
+	j.log.Info("cancelling running job")
 	if cancel != nil {
 		cancel()
 	}
@@ -403,6 +480,8 @@ func (s *Service) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.ready.Store(false) // /readyz drains before in-flight work unwinds
+	s.log.Info("service closing")
 	s.cancelAll()
 	s.wg.Wait()
 	s.mu.Lock()
@@ -466,7 +545,14 @@ func (s *Service) runJob(j *Job) {
 		}
 	}
 	pool := &runner.Pool{Workers: workers, Metrics: j.reg}
-	pool.Progress = func(done, total int, _ runner.Outcome) {
+	pool.Progress = func(done, total int, out runner.Outcome) {
+		// Per-run wall-clock span, off the pool's per-task accounting.
+		// Cancellation-skipped tasks carry no start time and record nothing.
+		if !out.Start.IsZero() && out.Index < len(points) {
+			p := points[out.Index]
+			j.tl.span("runs", fmt.Sprintf("run %d %s/%s", p.Index, p.Scheme, p.Benchmark),
+				out.Start, out.Start.Add(out.Wall), trace.KV{K: "run_id", V: uint64(p.Index)})
+		}
 		j.mu.Lock()
 		j.done = done
 		j.notifyLocked()
@@ -485,6 +571,9 @@ func (s *Service) runJob(j *Job) {
 	j.done = 0
 	j.notifyLocked()
 	j.mu.Unlock()
+	j.tl.span("job", "queued", j.created, j.started)
+	j.log.Info("job running", "workers", workers, "runs", len(points),
+		"resumable", len(j.completed))
 	s.reg.Gauge("service.jobs_running").Add(1)
 	defer s.reg.Gauge("service.jobs_running").Add(-1)
 
@@ -496,6 +585,7 @@ func (s *Service) runJob(j *Job) {
 		}
 	}
 	outs := pool.Run(ctx, tasks)
+	j.tl.span("job", "running", j.started, time.Now())
 
 	if ctx.Err() != nil {
 		j.mu.Lock()
@@ -504,47 +594,69 @@ func (s *Service) runJob(j *Job) {
 		if !stopped {
 			// Service shutdown: leave the journal without a terminal entry so
 			// the next Open resumes from the completed runs.
-			s.logf("service: job %s interrupted (%s); resumable", j.ID, ctx.Err())
+			j.log.Info("job interrupted; resumable on next start", "reason", ctx.Err().Error())
 			return
 		}
-		if err := j.jr.append(journalEntry{T: evCancelled}); err != nil {
-			s.logf("service: job %s: journal: %v", j.ID, err)
-		}
-		s.reg.Counter("service.jobs_cancelled").Inc()
-		j.settle(StateCancelled, nil, "")
+		s.settleJob(j, StateCancelled, evCancelled, nil, "")
 		return
 	}
 	for _, out := range outs {
 		if out.Err != nil {
 			msg := fmt.Sprintf("run %d (%s/%s): %v",
 				out.Index, points[out.Index].Scheme, points[out.Index].Benchmark, out.Err)
-			if err := j.jr.append(journalEntry{T: evFailed, Error: msg}); err != nil {
-				s.logf("service: job %s: journal: %v", j.ID, err)
-			}
-			s.reg.Counter("service.jobs_failed").Inc()
-			j.settle(StateFailed, nil, msg)
+			s.settleJob(j, StateFailed, evFailed, nil, msg)
 			return
 		}
 	}
 
+	awStart := time.Now()
 	arts, err := s.storeArtifacts(j.Spec, points, recs)
+	j.tl.span("job", "artifact-write", awStart, time.Now())
 	if err != nil {
-		if jerr := j.jr.append(journalEntry{T: evFailed, Error: err.Error()}); jerr != nil {
-			s.logf("service: job %s: journal: %v", j.ID, jerr)
-		}
-		s.reg.Counter("service.jobs_failed").Inc()
-		j.settle(StateFailed, nil, err.Error())
+		s.settleJob(j, StateFailed, evFailed, nil, err.Error())
 		return
 	}
-	if err := j.jr.append(journalEntry{T: evDone, Artifacts: arts}); err != nil {
-		s.logf("service: job %s: journal: %v", j.ID, err)
+	s.settleJob(j, StateDone, evDone, arts, "")
+}
+
+// settleJob drives a job to its terminal state: terminal timeline instant,
+// wall-clock trace persisted to the store, terminal journal entry, metrics,
+// logs, and the Status transition.
+func (s *Service) settleJob(j *Job, state State, ev string, arts []Artifact, errMsg string) {
+	j.tl.instant("job", string(state), time.Now())
+	tlDigest := s.persistTimeline(j)
+	entry := journalEntry{T: ev, Artifacts: arts, Error: errMsg, Timeline: tlDigest}
+	if err := j.jr.append(entry); err != nil {
+		j.log.Error("journal append failed", "entry", ev, "err", err.Error())
 	}
-	s.reg.Counter("service.jobs_done").Inc()
-	j.settle(StateDone, arts, "")
+	s.reg.Counter("service.jobs_" + ev).Inc()
+	switch state {
+	case StateDone:
+		j.log.Info("job done", "artifacts", len(arts),
+			"wall_ms", time.Since(j.started).Milliseconds())
+	case StateFailed:
+		j.log.Error("job failed", "err", errMsg)
+	case StateCancelled:
+		j.log.Info("job cancelled")
+	}
+	j.settle(state, arts, errMsg, tlDigest)
+}
+
+// persistTimeline renders the job's wall-clock trace and stores it
+// content-addressed, returning its digest ("" on failure — the timeline is
+// observability, never worth failing a job over).
+func (s *Service) persistTimeline(j *Job) string {
+	digest, _, err := s.store.Put(j.tl.render())
+	if err != nil {
+		j.log.Warn("timeline persist failed", "err", err.Error())
+		return ""
+	}
+	return digest
 }
 
 // runPoint executes (or resumes) one run and records its canonical bytes.
 func (s *Service) runPoint(ctx context.Context, j *Job, p Point, recs []runRec) (wafer.Result, error) {
+	rlog := j.log.With("run_id", p.Index, "scheme", p.Scheme, "benchmark", p.Benchmark)
 	if digest, ok := j.completed[p.Index]; ok {
 		data, err := s.store.Get(digest)
 		if err == nil {
@@ -555,18 +667,22 @@ func (s *Service) runPoint(ctx context.Context, j *Job, p Point, recs []runRec) 
 				j.resumed++
 				j.mu.Unlock()
 				s.reg.Counter("service.runs_resumed").Inc()
+				rlog.Info("run resumed from store", "digest", digest)
 				return res, nil
 			}
 		}
 		// Missing or unreadable object: re-execute the run.
-		s.logf("service: job %s run %d: stored result %s unavailable; re-executing", j.ID, p.Index, digest)
+		rlog.Warn("stored result unavailable; re-executing", "digest", digest)
 	}
 	var reg *metrics.Registry
 	if j.Spec.Metrics {
 		reg = metrics.NewRegistry()
 	}
+	start := time.Now()
 	res, err := s.opts.Run(ctx, j.Spec, p, reg)
 	if err != nil {
+		rlog.Error("run failed", "err", err.Error(),
+			"wall_ms", time.Since(start).Milliseconds())
 		return res, err
 	}
 	data, err := marshalResult(res)
@@ -585,6 +701,8 @@ func (s *Service) runPoint(ctx context.Context, j *Job, p Point, recs []runRec) 
 	j.executed++
 	j.mu.Unlock()
 	s.reg.Counter("service.runs_executed").Inc()
+	rlog.Info("run executed", "digest", digest,
+		"wall_ms", time.Since(start).Milliseconds(), "cycles", uint64(res.Cycles))
 	if reg != nil {
 		j.reg.Merge(reg.Snapshot())
 	}
@@ -592,11 +710,12 @@ func (s *Service) runPoint(ctx context.Context, j *Job, p Point, recs []runRec) 
 }
 
 // settle moves the job to a terminal state.
-func (j *Job) settle(state State, arts []Artifact, errMsg string) {
+func (j *Job) settle(state State, arts []Artifact, errMsg, tlDigest string) {
 	j.mu.Lock()
 	j.state = state
 	j.artifacts = arts
 	j.errMsg = errMsg
+	j.timelineDigest = tlDigest
 	j.finished = time.Now()
 	j.pool = nil
 	j.cancelRun = nil
@@ -625,8 +744,11 @@ func (s *Service) storeArtifacts(spec JobSpec, points []Point, recs []runRec) ([
 
 // AggregateSnapshot merges the service registry with every job's registry —
 // the /metrics view: one process-wide aggregate across all jobs — plus
-// store gauges sampled at scrape time.
+// store gauges and Go runtime telemetry sampled at scrape time. The
+// runtime series land in the service registry so GC-pause observations
+// accumulate across scrapes instead of double-counting.
 func (s *Service) AggregateSnapshot() *metrics.Snapshot {
+	s.runtime.Sample(s.reg)
 	agg := metrics.NewRegistry()
 	agg.Merge(s.reg.Snapshot())
 	for _, j := range s.Jobs() {

@@ -146,7 +146,7 @@ func TestPointsLayout(t *testing.T) {
 }
 
 func TestStorePutGetDedup(t *testing.T) {
-	st, err := OpenStore(t.TempDir())
+	st, err := OpenStore(t.TempDir(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestStorePutGetDedup(t *testing.T) {
 
 func TestStoreIndexRebuild(t *testing.T) {
 	dir := t.TempDir()
-	st, _ := OpenStore(dir)
+	st, _ := OpenStore(dir, nil)
 	d, _, err := st.Put([]byte("payload"))
 	if err != nil {
 		t.Fatal(err)
@@ -184,7 +184,7 @@ func TestStoreIndexRebuild(t *testing.T) {
 	if err := os.Remove(filepath.Join(dir, "index.json")); err != nil {
 		t.Fatal(err)
 	}
-	st2, err := OpenStore(dir)
+	st2, err := OpenStore(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

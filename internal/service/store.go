@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -27,6 +29,7 @@ type ArtifactInfo struct {
 // regardless of how many jobs produce it.
 type Store struct {
 	dir string
+	log *slog.Logger
 
 	mu    sync.Mutex
 	index map[string]ArtifactInfo
@@ -36,17 +39,23 @@ type Store struct {
 
 // OpenStore opens (creating if needed) the store rooted at dir. A missing
 // or unreadable index is rebuilt by scanning the object tree, so a crash
-// between an object write and the index rewrite loses nothing.
-func OpenStore(dir string) (*Store, error) {
+// between an object write and the index rewrite loses nothing. logger (nil
+// = discard) receives structured operational events: index rebuilds and
+// tolerated index-write failures.
+func OpenStore(dir string, logger *slog.Logger) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
 		return nil, fmt.Errorf("service: store: %w", err)
 	}
-	s := &Store{dir: dir, index: make(map[string]ArtifactInfo)}
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &Store{dir: dir, log: logger.With("component", "store"), index: make(map[string]ArtifactInfo)}
 	data, err := os.ReadFile(s.indexPath())
 	switch {
 	case err == nil:
 		if jerr := json.Unmarshal(data, &s.index); jerr != nil {
 			// Corrupt index: fall back to a scan.
+			s.log.Warn("store index unreadable; rebuilding from object tree", "err", jerr)
 			s.index = make(map[string]ArtifactInfo)
 		}
 	case !os.IsNotExist(err):
@@ -55,6 +64,9 @@ func OpenStore(dir string) (*Store, error) {
 	if len(s.index) == 0 {
 		if err := s.rebuild(); err != nil {
 			return nil, err
+		}
+		if len(s.index) > 0 {
+			s.log.Info("store index rebuilt by scan", "objects", len(s.index))
 		}
 	}
 	return s, nil
@@ -133,9 +145,12 @@ func (s *Store) writeIndexLocked() {
 	}
 	tmp := s.indexPath() + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		s.log.Warn("store index write failed; will rebuild by scan on next open", "err", err)
 		return
 	}
-	_ = os.Rename(tmp, s.indexPath())
+	if err := os.Rename(tmp, s.indexPath()); err != nil {
+		s.log.Warn("store index rename failed; will rebuild by scan on next open", "err", err)
+	}
 }
 
 // Get returns the content stored under digest.

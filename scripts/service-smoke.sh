@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # Service smoke test (make service-smoke, run by CI): build hdpatd, start it
-# with a small ops cap, submit a compare job over HTTP, poll the job to
-# completion, then fetch every artifact and check its bytes hash to the
-# digest the daemon advertised AND to the digest a direct in-process run of
-# the same spec prints (`hdpatd -digest`) — the end-to-end proof that the
-# served artifacts equal a plain CompareAll run. Standard tools only
-# (curl, sed, grep, sha256sum); no jq.
+# with a small ops cap, wait for readiness (/readyz — journal replay done),
+# submit a compare job over HTTP, poll the job to completion, then fetch
+# every artifact and check its bytes hash to the digest the daemon
+# advertised AND to the digest a direct in-process run of the same spec
+# prints (`hdpatd -digest`) — the end-to-end proof that the served
+# artifacts equal a plain CompareAll run. Also scrapes the observability
+# surface: /metrics must expose go_runtime_* and http_request_* series, the
+# job must serve a wall-clock /timeline (Chrome trace_event JSON) and a
+# /events flight-recorder ring, and the daemon's stderr must be structured
+# JSON log lines. Core checks need only curl/sed/grep/sha256sum; the
+# JSON-shape checks use jq and are skipped with a notice when jq is absent.
 set -euo pipefail
 
 PORT="${SMOKE_PORT:-18080}"
@@ -25,6 +30,9 @@ cleanup() {
 }
 trap cleanup EXIT
 
+HAVE_JQ=1
+command -v jq >/dev/null 2>&1 || { HAVE_JQ=0; echo "NOTE: jq not found; skipping JSON-shape checks"; }
+
 echo "== build"
 go build -o "${BIN}" ./cmd/hdpatd
 
@@ -33,14 +41,17 @@ echo "== reference digests (direct run, no daemon)"
 [[ -s "${WORK}/expected.txt" ]] || { echo "FAIL: -digest printed nothing"; exit 1; }
 
 echo "== start daemon on ${ADDR}"
-"${BIN}" -addr "${ADDR}" -data "${WORK}/data" -max-ops 64 &
+"${BIN}" -addr "${ADDR}" -data "${WORK}/data" -max-ops 64 2>"${WORK}/daemon.log" &
 DAEMON_PID=$!
 for i in $(seq 1 50); do
-  curl -fsS "${BASE}/healthz" >/dev/null 2>&1 && break
-  kill -0 "${DAEMON_PID}" 2>/dev/null || { echo "FAIL: daemon exited during startup"; exit 1; }
+  curl -fsS "${BASE}/readyz" >/dev/null 2>&1 && break
+  kill -0 "${DAEMON_PID}" 2>/dev/null || {
+    echo "FAIL: daemon exited during startup"; cat "${WORK}/daemon.log"; exit 1
+  }
   sleep 0.2
 done
-curl -fsS "${BASE}/healthz" >/dev/null || { echo "FAIL: daemon never became healthy"; exit 1; }
+curl -fsS "${BASE}/readyz" >/dev/null || { echo "FAIL: daemon never became ready"; cat "${WORK}/daemon.log"; exit 1; }
+curl -fsS "${BASE}/healthz" >/dev/null || { echo "FAIL: ready but not healthy"; exit 1; }
 
 echo "== submit job"
 SUBMIT="$(curl -fsS -X POST "${BASE}/v1/jobs" -H 'Content-Type: application/json' -d "${SPEC}")"
@@ -85,5 +96,49 @@ CODE="$(curl -sS -o "${WORK}/resubmit.json" -w '%{http_code}' -X POST "${BASE}/v
   -H 'Content-Type: application/json' -d "${SPEC}")"
 [[ "${CODE}" == "200" ]] || { echo "FAIL: resubmit returned ${CODE}, want 200"; exit 1; }
 grep -q "\"id\":\"${JOB_ID}\"" "${WORK}/resubmit.json" || { echo "FAIL: resubmit created a different job"; exit 1; }
+
+echo "== scrape /metrics for runtime + HTTP series"
+curl -fsS "${BASE}/metrics" -o "${WORK}/metrics.txt"
+grep -q '^hdpat_go_runtime_goroutines ' "${WORK}/metrics.txt" || {
+  echo "FAIL: /metrics missing hdpat_go_runtime_goroutines"; exit 1
+}
+grep -q '^hdpat_go_runtime_heap_alloc_bytes ' "${WORK}/metrics.txt" || {
+  echo "FAIL: /metrics missing hdpat_go_runtime_heap_alloc_bytes"; exit 1
+}
+grep -q '^hdpat_http_request_count_' "${WORK}/metrics.txt" || {
+  echo "FAIL: /metrics missing hdpat_http_request_count_* series"; exit 1
+}
+grep -q '^hdpat_http_request_latency_us_' "${WORK}/metrics.txt" || {
+  echo "FAIL: /metrics missing hdpat_http_request_latency_us_* series"; exit 1
+}
+echo "ok runtime + http series present"
+
+echo "== fetch wall-clock timeline and flight-recorder events"
+curl -fsS "${BASE}/v1/jobs/${JOB_ID}/timeline" -o "${WORK}/timeline.json"
+[[ -s "${WORK}/timeline.json" ]] || { echo "FAIL: empty timeline"; exit 1; }
+curl -fsS "${BASE}/v1/jobs/${JOB_ID}/events" -o "${WORK}/events.json"
+[[ -s "${WORK}/events.json" ]] || { echo "FAIL: empty events body"; exit 1; }
+if [[ "${HAVE_JQ}" == "1" ]]; then
+  jq -e 'type == "array" and length > 0 and (map(has("ph") and has("name") and has("ts")) | all)' \
+    "${WORK}/timeline.json" >/dev/null || { echo "FAIL: timeline is not trace_event JSON"; exit 1; }
+  jq -e '.events | length > 0' "${WORK}/events.json" >/dev/null || {
+    echo "FAIL: flight recorder has no events"; exit 1
+  }
+  echo "ok timeline is trace_event JSON; events ring populated"
+fi
+
+echo "== daemon stderr is structured JSON logging"
+[[ -s "${WORK}/daemon.log" ]] || { echo "FAIL: daemon logged nothing"; exit 1; }
+if [[ "${HAVE_JQ}" == "1" ]]; then
+  jq -es 'length > 0 and (map(has("time") and has("level") and has("msg")) | all)' \
+    "${WORK}/daemon.log" >/dev/null || {
+    echo "FAIL: daemon stderr is not one JSON log object per line:"
+    cat "${WORK}/daemon.log"; exit 1
+  }
+  grep -q "\"job_id\":\"${JOB_ID}\"" "${WORK}/daemon.log" || {
+    echo "FAIL: no log line correlates job_id ${JOB_ID}"; exit 1
+  }
+  echo "ok structured logs with job correlation"
+fi
 
 echo "PASS: service smoke (${COUNT} artifacts byte-identical to direct run)"
