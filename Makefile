@@ -4,10 +4,10 @@
 # data races.
 
 GO ?= go
-BENCH ?= BenchmarkBatch3x3|BenchmarkCompare
+BENCH ?= BenchmarkBatch3x3|BenchmarkCompare|BenchmarkScale
 BENCHTIME ?= 3x
 
-.PHONY: build test race vet staticcheck check verify-invariants bench bench-check bench-all report service-smoke
+.PHONY: build test race vet staticcheck check verify-invariants bench bench-check bench-all report service-smoke scale-check
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,7 @@ bench:
 BENCH_TOLERANCE ?= 0.15
 ALLOC_TOLERANCE ?= 0.10
 EVENTS_TOLERANCE ?= 0.15
+BYTES_TOLERANCE ?= 0.20
 # Extra benchmarks to diff but never gate on (regexp). Domain-sharded D<n>
 # legs are automatically informational when the run used a single CPU.
 BENCH_INFORMATIONAL ?=
@@ -79,8 +80,17 @@ bench-check:
 		| /tmp/benchjson > /tmp/bench-new.json
 	/tmp/benchjson -compare -tolerance $(BENCH_TOLERANCE) \
 		-alloc-tolerance $(ALLOC_TOLERANCE) -events-tolerance $(EVENTS_TOLERANCE) \
+		-bytes-tolerance $(BYTES_TOLERANCE) \
 		-informational '$(BENCH_INFORMATIONAL)' \
 		results/bench.json /tmp/bench-new.json
+
+# Giant-wafer memory-scaling gate: the 30x30 bounded-memory and digest
+# tests, the lazy-GPM construction-cost ratio, and the invariant smoke at
+# scale. Bytes/GPM regressions in the bench baseline are caught by
+# bench-check through the bytes/GPM metric (BYTES_TOLERANCE slack).
+scale-check:
+	$(GO) test -run 'TestScale30x30|TestInvariants30x30' -count=1 .
+	$(GO) test -run 'TestLazyGPMsAtLeast5xCheaper|TestStatReadersDoNotMaterialize' -count=1 ./internal/gpm/
 
 # One iteration of every paper-artifact benchmark plus the batch-engine
 # serial/parallel comparison.

@@ -14,7 +14,7 @@
 //
 // -compare diffs two reports and exits 1 when any benchmark present in both
 // regressed beyond tolerance — the CI bench-regression gate
-// (`make bench-check`). Three metrics are gated, each with its own
+// (`make bench-check`). Four metrics are gated, each with its own
 // tolerance:
 //
 //   - ns/op (-tolerance, default 0.15): wall time is noisy on shared
@@ -24,6 +24,11 @@
 //     jitter, so a real new allocation per op trips the gate.
 //   - events/sec (-events-tolerance, default 0.15): the kernel-throughput
 //     custom metric; derived from wall time, so it inherits its noise.
+//   - bytes/GPM (-bytes-tolerance, default 0.20): the memory-scaling custom
+//     metric reported by the giant-wafer benchmarks (heap growth per GPM
+//     from runtime.ReadMemStats deltas); an increase means the sparse/lazy
+//     layouts regressed toward eager instantiation. Heap accounting jitters
+//     with GC timing, so the slack is the widest of the four.
 //
 // Benchmarks appearing on only one side are reported but never fail the
 // gate, so adding or renaming a benchmark does not require regenerating the
@@ -83,6 +88,7 @@ type tolerances struct {
 	NsPerOp       float64 // fractional ns/op increase allowed
 	AllocsOp      float64 // fractional allocs/op increase allowed
 	EventsSec     float64 // fractional events/sec decrease allowed
+	BytesGPM      float64 // fractional bytes/GPM increase allowed
 	Informational string  // regexp of benchmark names reported but never gated
 }
 
@@ -92,11 +98,12 @@ func main() {
 	flag.Float64Var(&tol.NsPerOp, "tolerance", 0.15, "allowed fractional ns/op regression before -compare fails")
 	flag.Float64Var(&tol.AllocsOp, "alloc-tolerance", 0.10, "allowed fractional allocs/op regression before -compare fails")
 	flag.Float64Var(&tol.EventsSec, "events-tolerance", 0.15, "allowed fractional events/sec decrease before -compare fails")
+	flag.Float64Var(&tol.BytesGPM, "bytes-tolerance", 0.20, "allowed fractional bytes/GPM increase before -compare fails")
 	flag.StringVar(&tol.Informational, "informational", "", "regexp of benchmark names to diff and report but never fail on")
 	flag.Parse()
 	if *compare {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-tolerance F] [-alloc-tolerance F] [-events-tolerance F] [-informational RE] old.json new.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-tolerance F] [-alloc-tolerance F] [-events-tolerance F] [-bytes-tolerance F] [-informational RE] old.json new.json")
 			os.Exit(2)
 		}
 		os.Exit(compareReports(flag.Arg(0), flag.Arg(1), tol))
@@ -155,6 +162,7 @@ func compareReports(oldPath, newPath string, tol tolerances) int {
 		{unit: "ns/op", tolerance: tol.NsPerOp, higherBad: true},
 		{unit: "allocs/op", tolerance: tol.AllocsOp, higherBad: true},
 		{unit: "events/sec", tolerance: tol.EventsSec, higherBad: false},
+		{unit: "bytes/GPM", tolerance: tol.BytesGPM, higherBad: true},
 	}
 	var regressed []string
 	for _, g := range gates {

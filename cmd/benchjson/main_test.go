@@ -17,7 +17,7 @@ func writeReport(t *testing.T, name string, body string) string {
 
 // defaultTol mirrors the flag defaults.
 func defaultTol() tolerances {
-	return tolerances{NsPerOp: 0.15, AllocsOp: 0.10, EventsSec: 0.15}
+	return tolerances{NsPerOp: 0.15, AllocsOp: 0.10, EventsSec: 0.15, BytesGPM: 0.20}
 }
 
 const oldJSON = `{"benchmarks":[
@@ -207,5 +207,35 @@ func TestMetricIndexing(t *testing.T) {
 	}
 	if al := metricIndex(rep, "allocs/op"); al["B"] != 9 {
 		t.Errorf("allocs/op[B] = %v", al["B"])
+	}
+}
+
+// bytes/GPM is the memory-scaling gate: heap growth per GPM reported by the
+// giant-wafer benchmarks. An increase past -bytes-tolerance fails, a
+// decrease never does.
+func TestCompareBytesPerGPMGate(t *testing.T) {
+	old := `{"benchmarks":[
+	  {"name":"BenchmarkScale30x30","procs":4,"iterations":1,"metrics":[{"value":100000,"unit":"bytes/GPM"}]}
+	]}`
+	worse := `{"benchmarks":[
+	  {"name":"BenchmarkScale30x30","procs":4,"iterations":1,"metrics":[{"value":140000,"unit":"bytes/GPM"}]}
+	]}`
+	if code := compareReports(writeReport(t, "old.json", old),
+		writeReport(t, "worse.json", worse), defaultTol()); code != 1 {
+		t.Errorf("40%% bytes/GPM growth over 20%% tolerance: exit %d, want 1", code)
+	}
+	within := `{"benchmarks":[
+	  {"name":"BenchmarkScale30x30","procs":4,"iterations":1,"metrics":[{"value":110000,"unit":"bytes/GPM"}]}
+	]}`
+	if code := compareReports(writeReport(t, "old2.json", old),
+		writeReport(t, "within.json", within), defaultTol()); code != 0 {
+		t.Errorf("10%% bytes/GPM growth under 20%% tolerance: exit %d, want 0", code)
+	}
+	better := `{"benchmarks":[
+	  {"name":"BenchmarkScale30x30","procs":4,"iterations":1,"metrics":[{"value":20000,"unit":"bytes/GPM"}]}
+	]}`
+	if code := compareReports(writeReport(t, "old3.json", old),
+		writeReport(t, "better.json", better), defaultTol()); code != 0 {
+		t.Errorf("5x bytes/GPM improvement: exit %d, want 0", code)
 	}
 }

@@ -77,7 +77,7 @@ func main() {
 			if *digest {
 				err = printDigests(*specJSON, run)
 			} else {
-				err = serve(*addr, *data, run, *jobWorkers, *runWorkers, logger)
+				err = serve(*addr, *data, run, checkSpec(cfg), *jobWorkers, *runWorkers, logger)
 			}
 		}
 	}
@@ -109,9 +109,28 @@ func systemConfig(name string) (hdpat.Config, error) {
 	return hdpat.Config{}, fmt.Errorf("unknown -wafer %q (7x7 or 7x12)", name)
 }
 
+// specConfig applies a spec's mesh override to the daemon's base config.
+func specConfig(cfg hdpat.Config, spec service.JobSpec) hdpat.Config {
+	if spec.MeshW != 0 {
+		cfg.MeshW, cfg.MeshH = spec.MeshW, spec.MeshH
+	}
+	return cfg
+}
+
+// checkSpec builds the service's submission-time vet: the full
+// config.Validate on the job's effective system config, so a hostile spec
+// (overflowing mesh, absurd geometry) comes back as an HTTP 400 instead of
+// failing — or panicking — inside a run.
+func checkSpec(cfg hdpat.Config) func(service.JobSpec) error {
+	return func(spec service.JobSpec) error {
+		return specConfig(cfg, spec).Validate()
+	}
+}
+
 // runFunc adapts the public simulation API into the service's run seam.
 // Every job run goes through here: scheme resolution, the daemon's default
-// budget, and the optional per-run metrics registry.
+// budget, the spec's mesh override, and the optional per-run metrics
+// registry.
 func runFunc(cfg hdpat.Config, defOps, maxOps int) service.RunFunc {
 	return func(ctx context.Context, spec service.JobSpec, p service.Point, reg *metrics.Registry) (hdpat.Result, error) {
 		budget := spec.OpsBudget
@@ -121,6 +140,7 @@ func runFunc(cfg hdpat.Config, defOps, maxOps int) service.RunFunc {
 		if maxOps > 0 && budget > maxOps {
 			return hdpat.Result{}, fmt.Errorf("ops budget %d exceeds daemon cap %d", budget, maxOps)
 		}
+		cfg := specConfig(cfg, spec)
 		opts := []hdpat.Option{hdpat.WithSeed(spec.Seed)}
 		if budget > 0 {
 			opts = append(opts, hdpat.WithOpsBudget(budget))
@@ -184,7 +204,7 @@ func (s *startupHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Every exit goes through the same graceful sequence: drain the HTTP
 // server, then Close the service so running jobs are interrupted without a
 // terminal journal entry and the next start resumes them.
-func serve(addr, data string, run service.RunFunc, jobWorkers, runWorkers int, logger *slog.Logger) error {
+func serve(addr, data string, run service.RunFunc, check func(service.JobSpec) error, jobWorkers, runWorkers int, logger *slog.Logger) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -201,6 +221,7 @@ func serve(addr, data string, run service.RunFunc, jobWorkers, runWorkers int, l
 		JobWorkers: jobWorkers,
 		RunWorkers: runWorkers,
 		Logger:     logger,
+		CheckSpec:  check,
 	})
 	if err != nil {
 		srv.Close()

@@ -35,6 +35,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 	domains := flag.Int("domains", 4, "shard count for the domain-sharded determinism case (1 = skip)")
 	skipDefault := flag.Bool("skip-default", false, "skip the Table I default-configuration matrix")
+	scale := flag.Bool("scale", true, "run the giant-wafer (30x30) invariant case")
 	verbose := flag.Bool("v", false, "log every run")
 	flag.Parse()
 
@@ -54,6 +55,9 @@ func main() {
 	}
 	h.determinism()
 	h.sharding()
+	if *scale {
+		h.scale30()
+	}
 
 	if h.failures > 0 {
 		fmt.Fprintf(os.Stderr, "verifyinv: %d failure(s) across %d runs\n", h.failures, h.runs)
@@ -177,6 +181,49 @@ func (h *harness) sharding() {
 		} else if h.verbose {
 			fmt.Printf("ok   sharding %s domains=%d (%d cycles)\n", scheme, h.domains, sharded.Cycles)
 		}
+	}
+}
+
+// scale30 runs one scheme/benchmark pair on the giant 30x30 wafer (899
+// GPMs): once serially under the invariant checker, once domain-sharded,
+// asserting the two Results byte-identical. This is where the sparse link
+// accounting and lazy GPM instantiation would first break conservation —
+// a link the sweep skips, or a GPM materialized on one path but not the
+// other, diverges the results here. Disable with -scale=false.
+func (h *harness) scale30() {
+	if h.start.IsZero() {
+		h.start = time.Now()
+	}
+	cfg := hdpat.DefaultConfig()
+	cfg.MeshW, cfg.MeshH = 30, 30
+	spec := hdpat.RunSpec{Scheme: "hdpat", Benchmark: "SPMV", OpsBudget: h.ops, Seed: h.seed}
+	h.runs += 3
+	serial, err := hdpat.Simulate(cfg, spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL scale 30x30: serial: %v\n", err)
+		h.failures++
+		return
+	}
+	if _, err := hdpat.Simulate(cfg, spec, hdpat.WithInvariants()); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL scale 30x30: invariants: %v\n", err)
+		h.failures++
+		return
+	}
+	domains := h.domains
+	if domains <= 1 {
+		domains = 4
+	}
+	sharded, err := hdpat.Simulate(cfg, spec, hdpat.WithDomains(domains))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL scale 30x30: domains=%d: %v\n", domains, err)
+		h.failures++
+		return
+	}
+	if !reflect.DeepEqual(serial, sharded) {
+		fmt.Fprintf(os.Stderr, "FAIL scale 30x30: domains=%d result differs from serial\n", domains)
+		h.failures++
+	} else if h.verbose {
+		fmt.Printf("ok   scale 30x30 hdpat/SPMV (%d cycles)\n", serial.Cycles)
 	}
 }
 

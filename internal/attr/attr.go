@@ -235,13 +235,6 @@ type linkKey struct {
 	dir  string
 }
 
-// linkAgg accumulates one link's activity.
-type linkAgg struct {
-	messages uint64
-	bytes    uint64
-	hopCycle uint64 // sum of hop span durations (replay-mode busy proxy)
-}
-
 // LinkVisitor receives one directed link's coordinates, direction and
 // monotonically accumulated busy cycles.
 type LinkVisitor func(x, y int, dir string, busy uint64)
@@ -258,18 +251,34 @@ type Collector struct {
 	closed  map[uint64]struct{}
 	stages  map[string]*Dist
 	sources map[string]uint64
-	links   map[linkKey]*linkAgg
 	tlb     map[string]*TLBLevel
 	clipped uint64
 	late    uint64
 	migs    uint64
 
+	// Per-link aggregates in structure-of-arrays form: linkIdx maps a
+	// directed link to its slot in the parallel columns below. One small
+	// map plus six flat slices replaces the four map[linkKey] structures
+	// the ledger used to carry — on a giant wafer the columns are one
+	// allocation each and release in one drop after Finalize.
+	linkIdx   map[linkKey]int32
+	linkMsgs  []uint64
+	linkBytes []uint64
+	linkHop   []uint64 // sum of hop span durations (replay-mode busy proxy)
+	linkPrev  []uint64 // busy counter at last sweep
+	linkPeak  []uint64 // max per-window busy delta
+	linkFinal []uint64 // busy counter at the final probe sweep
+
 	queueProbe   func() int
 	walkersProbe func() int
 	linkProbe    func(LinkVisitor)
-	prevBusy     map[linkKey]uint64
-	peakBusy     map[linkKey]uint64
 	series       map[string][]Sample
+
+	// finalized marks that Finalize has run and released the working
+	// ledger. The run is over, so any span still arriving is by definition
+	// late: it is counted, never stitched — the same contract late spans
+	// had before, without keeping the per-request closed set alive.
+	finalized bool
 }
 
 // NewCollector returns an empty ledger with the given configuration.
@@ -278,16 +287,14 @@ func NewCollector(cfg Config) *Collector {
 		cfg.Window = DefaultWindow
 	}
 	c := &Collector{
-		cfg:      cfg,
-		open:     make(map[uint64]*pending),
-		closed:   make(map[uint64]struct{}),
-		stages:   make(map[string]*Dist),
-		sources:  make(map[string]uint64),
-		links:    make(map[linkKey]*linkAgg),
-		tlb:      make(map[string]*TLBLevel),
-		prevBusy: make(map[linkKey]uint64),
-		peakBusy: make(map[linkKey]uint64),
-		series:   make(map[string][]Sample),
+		cfg:     cfg,
+		open:    make(map[uint64]*pending),
+		closed:  make(map[uint64]struct{}),
+		stages:  make(map[string]*Dist),
+		sources: make(map[string]uint64),
+		linkIdx: make(map[linkKey]int32),
+		tlb:     make(map[string]*TLBLevel),
+		series:  make(map[string][]Sample),
 	}
 	for _, s := range StageOrder {
 		c.stages[s] = &Dist{}
@@ -320,6 +327,10 @@ func (c *Collector) get(req uint64) *pending {
 // entry (trace.Sink). A span for an already-completed request (the dispatch
 // skip path) is counted as late rather than opening a dangling entry.
 func (c *Collector) OnQueue(stage string, start, end uint64, req uint64) {
+	if c.finalized {
+		c.late++
+		return
+	}
 	if _, done := c.closed[req]; done {
 		c.late++
 		return
@@ -337,6 +348,10 @@ func (c *Collector) OnQueue(stage string, start, end uint64, req uint64) {
 // (trace.Sink). Like OnQueue, a span postdating the request's completion is
 // counted late, not stitched.
 func (c *Collector) OnWalk(start, end uint64, req, vpn uint64) {
+	if c.finalized {
+		c.late++
+		return
+	}
 	if _, done := c.closed[req]; done {
 		c.late++
 		return
@@ -349,6 +364,9 @@ func (c *Collector) OnWalk(start, end uint64, req, vpn uint64) {
 // probes and data traffic under one span type — so per-request wire time is
 // the exact remainder computed at completion instead.
 func (c *Collector) OnHop(start, end uint64, fromX, fromY, toX, toY, size int) {
+	if c.finalized {
+		return
+	}
 	var dir string
 	switch {
 	case toX == fromX+1:
@@ -360,15 +378,27 @@ func (c *Collector) OnHop(start, end uint64, fromX, fromY, toX, toY, size int) {
 	default:
 		dir = "n"
 	}
-	k := linkKey{fromX, fromY, dir}
-	l := c.links[k]
-	if l == nil {
-		l = &linkAgg{}
-		c.links[k] = l
+	i := c.linkSlot(linkKey{fromX, fromY, dir})
+	c.linkMsgs[i]++
+	c.linkBytes[i] += uint64(size)
+	c.linkHop[i] += end - start
+}
+
+// linkSlot returns the SoA column index for link k, appending a zeroed
+// slot across all columns on first sight.
+func (c *Collector) linkSlot(k linkKey) int32 {
+	if i, ok := c.linkIdx[k]; ok {
+		return i
 	}
-	l.messages++
-	l.bytes += uint64(size)
-	l.hopCycle += end - start
+	i := int32(len(c.linkMsgs))
+	c.linkIdx[k] = i
+	c.linkMsgs = append(c.linkMsgs, 0)
+	c.linkBytes = append(c.linkBytes, 0)
+	c.linkHop = append(c.linkHop, 0)
+	c.linkPrev = append(c.linkPrev, 0)
+	c.linkPeak = append(c.linkPeak, 0)
+	c.linkFinal = append(c.linkFinal, 0)
+	return i
 }
 
 // OnMigration counts one completed page migration (trace.Sink).
@@ -380,6 +410,10 @@ func (c *Collector) OnMigration(start, end uint64, vpn uint64, from, to int) {
 // end-to-end latency becomes the total, accumulated stages are recorded, and
 // wire is the exact remainder.
 func (c *Collector) OnRequest(start, end uint64, req uint64, source, gpm int) {
+	if c.finalized {
+		c.late++
+		return
+	}
 	total := end - start
 	var adm, pwq, walk uint64
 	if p := c.open[req]; p != nil {
@@ -418,6 +452,9 @@ func (c *Collector) AddTLB(level string, hits, misses uint64) {
 // utilisation and the aggregate noc.busy_delta series). Called by the engine
 // sampler; strictly read-only against simulator state.
 func (c *Collector) Sample(at uint64) {
+	if c.finalized {
+		return
+	}
 	if c.queueProbe != nil {
 		c.series["iommu.queue_depth"] = append(c.series["iommu.queue_depth"],
 			Sample{At: at, Value: float64(c.queueProbe())})
@@ -437,11 +474,11 @@ func (c *Collector) Sample(at uint64) {
 func (c *Collector) sweepLinks() uint64 {
 	var total uint64
 	c.linkProbe(func(x, y int, dir string, busy uint64) {
-		k := linkKey{x, y, dir}
-		d := busy - c.prevBusy[k]
-		c.prevBusy[k] = busy
-		if d > c.peakBusy[k] {
-			c.peakBusy[k] = d
+		i := c.linkSlot(linkKey{x, y, dir})
+		d := busy - c.linkPrev[i]
+		c.linkPrev[i] = busy
+		if d > c.linkPeak[i] {
+			c.linkPeak[i] = d
 		}
 		total += d
 	})
@@ -470,44 +507,34 @@ func (c *Collector) Finalize(scheme, benchmark string, cycles uint64) *Breakdown
 	}
 
 	// Final link occupancy: one last sweep captures the trailing partial
-	// window, then assemble stats for every link that saw any activity.
-	finalBusy := make(map[linkKey]uint64)
+	// window, then one probe walk stores end-of-run busy into the final
+	// column. After that, linkIdx covers every link that saw hops or was
+	// probed, so assembling stats is one walk over the index.
 	if c.linkProbe != nil {
 		c.sweepLinks()
 		c.linkProbe(func(x, y int, dir string, busy uint64) {
-			finalBusy[linkKey{x, y, dir}] = busy
+			c.linkFinal[c.linkSlot(linkKey{x, y, dir})] = busy
 		})
 	}
-	seen := make(map[linkKey]bool)
-	add := func(k linkKey) {
-		if seen[k] {
-			return
-		}
-		seen[k] = true
-		ls := LinkStat{X: k.x, Y: k.y, Dir: k.dir}
-		if l := c.links[k]; l != nil {
-			ls.Messages, ls.Bytes = l.messages, l.bytes
-			ls.Busy = l.hopCycle // replay-mode proxy, overwritten below
+	for k, i := range c.linkIdx {
+		ls := LinkStat{
+			X: k.x, Y: k.y, Dir: k.dir,
+			Messages: c.linkMsgs[i], Bytes: c.linkBytes[i],
+			Busy: c.linkHop[i], // replay-mode proxy, overwritten below
 		}
 		if c.linkProbe != nil {
-			ls.Busy = finalBusy[k]
+			ls.Busy = c.linkFinal[i]
 		}
 		if ls.Messages == 0 && ls.Busy == 0 {
-			return
+			continue
 		}
 		if cycles > 0 {
 			ls.Util = float64(ls.Busy) / float64(cycles)
 		}
 		if c.cfg.Window > 0 {
-			ls.PeakUtil = float64(c.peakBusy[k]) / float64(c.cfg.Window)
+			ls.PeakUtil = float64(c.linkPeak[i]) / float64(c.cfg.Window)
 		}
 		b.Links = append(b.Links, ls)
-	}
-	for k := range c.links {
-		add(k)
-	}
-	for k := range finalBusy {
-		add(k)
 	}
 	sort.Slice(b.Links, func(i, j int) bool {
 		a, z := b.Links[i], b.Links[j]
@@ -540,5 +567,17 @@ func (c *Collector) Finalize(scheme, benchmark string, cycles uint64) *Breakdown
 		}
 		return b.TLB[i].Level < b.TLB[j].Level
 	})
+
+	// The Breakdown now owns everything the caller needs; drop the working
+	// ledger so a long-lived process (hdpatd running back-to-back sweeps)
+	// does not hold the per-request closed set and per-link columns at peak
+	// until the next run's collector replaces this one. Stages, sources and
+	// series stay: the Breakdown aliases them.
+	c.finalized = true
+	c.open = nil
+	c.closed = nil
+	c.linkIdx = nil
+	c.linkMsgs, c.linkBytes, c.linkHop = nil, nil, nil
+	c.linkPrev, c.linkPeak, c.linkFinal = nil, nil, nil
 	return b
 }

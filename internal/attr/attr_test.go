@@ -3,6 +3,7 @@ package attr
 import (
 	"bytes"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -342,4 +343,48 @@ func TestLateSpansCountedNotStitched(t *testing.T) {
 		t.Errorf("exact accounting broken: stages=%d total=%d clipped=%d",
 			stageSum, b.Stage(StageTotal).Sum, b.Clipped)
 	}
+}
+
+// Finalize must release the working ledger — the per-request open/closed
+// sets and the per-link SoA columns — once the Breakdown is built. A
+// long-lived hdpatd process runs back-to-back sweeps; before this fix each
+// finished run's collector held its peak ledger until the next run replaced
+// it.
+func TestFinalizeReleasesLedger(t *testing.T) {
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+
+	c := NewCollector(Config{})
+	// 200k completed requests: the closed set alone is several MB.
+	for i := uint64(1); i <= 200_000; i++ {
+		c.OnRequest(0, 100, i, 0, 0)
+	}
+	// A 40x40 wafer's worth of link activity into the SoA columns.
+	for x := 0; x < 40; x++ {
+		for y := 0; y < 40; y++ {
+			c.OnHop(0, 10, x, y, x+1, y, 64)
+		}
+	}
+	b := c.Finalize("s", "b", 1000)
+
+	if c.open != nil || c.closed != nil {
+		t.Error("request ledger maps retained after Finalize")
+	}
+	if c.linkIdx != nil || c.linkMsgs != nil || c.linkBytes != nil || c.linkHop != nil ||
+		c.linkPrev != nil || c.linkPeak != nil || c.linkFinal != nil {
+		t.Error("per-link SoA columns retained after Finalize")
+	}
+
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	// The collector and breakdown stay live, but with the ledger dropped the
+	// residual heap growth must be far below the ~10 MB the closed set held.
+	// Generous bound to stay robust against allocator noise.
+	if delta := int64(m1.HeapAlloc) - int64(m0.HeapAlloc); delta > 4<<20 {
+		t.Errorf("heap grew %d bytes across a finalized run; ledger not released", delta)
+	}
+	runtime.KeepAlive(c)
+	runtime.KeepAlive(b)
 }

@@ -9,6 +9,7 @@ import (
 
 	"hdpat/internal/cache"
 	"hdpat/internal/dram"
+	"hdpat/internal/geom"
 	"hdpat/internal/noc"
 	"hdpat/internal/sim"
 	"hdpat/internal/tlb"
@@ -309,25 +310,58 @@ func (s System) ApplyScale() System {
 	return s
 }
 
+// Mesh size bounds enforced by Validate, shared with the geometry layer.
+// The per-dimension cap keeps the W*H product free of integer overflow on
+// any build (1024^2 fits easily in int32); the tile cap bounds what a
+// simulation is allowed to allocate for topology — 65536 tiles is two
+// orders of magnitude past the giant-wafer roadmap target (30x30 = 900)
+// while refusing specs that would OOM the process before any simulation
+// ran.
+const (
+	MaxMeshDim = geom.MaxDim
+	MaxTiles   = geom.MaxTiles
+)
+
+// ValidationError is the typed error Validate reports: Field names the
+// offending parameter and Reason says why it was rejected, so callers (the
+// hdpatd spec gate in particular) can distinguish a bad configuration from
+// an internal failure.
+type ValidationError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("config: invalid %s: %s", e.Field, e.Reason)
+}
+
 // Validate sanity-checks a configuration.
 func (s System) Validate() error {
 	if s.MeshW < 3 || s.MeshH < 3 {
-		return fmt.Errorf("config: mesh %dx%d too small", s.MeshW, s.MeshH)
+		return &ValidationError{Field: "mesh", Reason: fmt.Sprintf("%dx%d too small (minimum 3x3)", s.MeshW, s.MeshH)}
+	}
+	if s.MeshW > MaxMeshDim || s.MeshH > MaxMeshDim {
+		return &ValidationError{Field: "mesh", Reason: fmt.Sprintf("%dx%d exceeds the %d per-dimension cap", s.MeshW, s.MeshH, MaxMeshDim)}
+	}
+	// Both dimensions are in [3, MaxMeshDim], so the product cannot
+	// overflow; cap the tile count a spec may ask the simulator to build.
+	if s.MeshW*s.MeshH > MaxTiles {
+		return &ValidationError{Field: "mesh", Reason: fmt.Sprintf("%dx%d = %d tiles exceeds the %d-tile cap", s.MeshW, s.MeshH, s.MeshW*s.MeshH, MaxTiles)}
 	}
 	if s.GPM.NumCUs <= 0 || s.GPM.GMMUWalkers <= 0 {
-		return fmt.Errorf("config: GPM must have CUs and walkers")
+		return &ValidationError{Field: "gpm", Reason: "must have CUs and walkers"}
 	}
 	if s.IOMMU.Walkers <= 0 || s.IOMMU.PWQueueCap <= 0 {
-		return fmt.Errorf("config: IOMMU must have walkers and queue capacity")
+		return &ValidationError{Field: "iommu", Reason: "must have walkers and queue capacity"}
 	}
 	if s.HDPAT.Layers < 0 || s.HDPAT.Clusters < 1 {
-		return fmt.Errorf("config: invalid HDPAT layers/clusters")
+		return &ValidationError{Field: "hdpat", Reason: "invalid layers/clusters"}
 	}
 	if s.PageSize < 1<<12 || uint64(s.PageSize)&(uint64(s.PageSize)-1) != 0 {
-		return fmt.Errorf("config: page size %d not a power-of-two >= 4K", s.PageSize)
+		return &ValidationError{Field: "page_size", Reason: fmt.Sprintf("%d not a power-of-two >= 4K", s.PageSize)}
 	}
 	if s.WorkloadScale < 1 {
-		return fmt.Errorf("config: workload scale must be >= 1")
+		return &ValidationError{Field: "workload_scale", Reason: "must be >= 1"}
 	}
 	return nil
 }

@@ -1,6 +1,9 @@
 package config
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 func TestDefaultMatchesTable1(t *testing.T) {
 	c := Default()
@@ -101,6 +104,13 @@ func TestWaferVariants(t *testing.T) {
 func TestValidateRejectsBadConfigs(t *testing.T) {
 	bad := []func(*System){
 		func(s *System) { s.MeshW = 1 },
+		func(s *System) { s.MeshW = 0 },
+		func(s *System) { s.MeshH = -7 },
+		// Hostile sizes: a dimension past the cap, and a pair whose product
+		// would overflow 32-bit tile arithmetic if multiplied unchecked.
+		func(s *System) { s.MeshW = MaxMeshDim + 1 },
+		func(s *System) { s.MeshW, s.MeshH = 1 << 20, 1 << 20 },
+		func(s *System) { s.MeshW, s.MeshH = 1024, 1024 }, // over the tile cap
 		func(s *System) { s.GPM.NumCUs = 0 },
 		func(s *System) { s.IOMMU.Walkers = 0 },
 		func(s *System) { s.HDPAT.Clusters = 0 },
@@ -113,6 +123,29 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		if err := c.Validate(); err == nil {
 			t.Errorf("bad config %d validated", i)
 		}
+	}
+}
+
+// Mesh rejections carry the typed ValidationError so the service layer can
+// classify them as client errors, and the largest supported mesh still
+// validates.
+func TestValidateMeshBounds(t *testing.T) {
+	c := Default()
+	c.MeshW, c.MeshH = 1<<18, 1<<18
+	err := c.Validate()
+	var ve *ValidationError
+	if !errors.As(err, &ve) || ve.Field != "mesh" {
+		t.Fatalf("overflowing mesh: got %v, want *ValidationError on mesh", err)
+	}
+
+	c = Default()
+	c.MeshW, c.MeshH = 256, 256 // exactly MaxTiles
+	if err := c.Validate(); err != nil {
+		t.Errorf("256x256 (= MaxTiles) should validate: %v", err)
+	}
+	c.MeshW, c.MeshH = 30, 30 // the giant-wafer roadmap target
+	if err := c.Validate(); err != nil {
+		t.Errorf("30x30 should validate: %v", err)
 	}
 }
 

@@ -47,6 +47,17 @@ type Mesh struct {
 	tiles []Coord // all GPM tiles in row-major order (CPU excluded)
 }
 
+// Mesh size bounds. MaxDim caps one dimension so W*H can never overflow
+// 32-bit index arithmetic (tile IDs, domain maps and the NoC's sparse link
+// index all use int32-sized products); MaxTiles caps the topology a mesh
+// may allocate. config.Validate enforces the same bounds with a typed
+// error before any geometry is built — the panic here is the last line of
+// defence for callers constructing meshes directly.
+const (
+	MaxDim   = 1024
+	MaxTiles = 1 << 16
+)
+
 // NewMesh creates a mesh with the CPU at the centre tile, matching the paper
 // ("we designate the center tile as the CPU"). For even dimensions the centre
 // rounds down, keeping the CPU as central as possible.
@@ -54,7 +65,11 @@ func NewMesh(w, h int) *Mesh {
 	if w < 3 || h < 3 {
 		panic("geom: mesh must be at least 3x3")
 	}
+	if w > MaxDim || h > MaxDim || w*h > MaxTiles {
+		panic(fmt.Sprintf("geom: mesh %dx%d exceeds the %d-tile bound", w, h, MaxTiles))
+	}
 	m := &Mesh{W: w, H: h, CPU: Coord{(w - 1) / 2, (h - 1) / 2}}
+	m.tiles = make([]Coord, 0, w*h-1)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			c := Coord{x, y}

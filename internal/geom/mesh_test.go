@@ -157,3 +157,53 @@ func TestDistances(t *testing.T) {
 		t.Errorf("Chebyshev = %d, want 3", a.Chebyshev(b))
 	}
 }
+
+// The largest supported mesh (256x256 = MaxTiles) must build, index and
+// invert tile IDs correctly at every corner — this is the boundary where
+// 32-bit products in NodeID/CoordOf would first misbehave if the bounds
+// were wrong — and anything past the cap must panic rather than silently
+// wrap.
+func TestMeshMaxBounds(t *testing.T) {
+	m := NewMesh(256, 256)
+	if m.NumTiles() != MaxTiles {
+		t.Fatalf("NumTiles = %d, want %d", m.NumTiles(), MaxTiles)
+	}
+	if m.NumGPMs() != MaxTiles-1 {
+		t.Fatalf("NumGPMs = %d, want %d", m.NumGPMs(), MaxTiles-1)
+	}
+	corners := []Coord{{0, 0}, {255, 0}, {0, 255}, {255, 255}, m.CPU}
+	for _, c := range corners {
+		id := m.NodeID(c)
+		if id < 0 || id >= MaxTiles {
+			t.Errorf("NodeID(%v) = %d out of range", c, id)
+		}
+		if got := m.CoordOf(id); got != c {
+			t.Errorf("CoordOf(NodeID(%v)) = %v", c, got)
+		}
+	}
+	if id := m.NodeID(Coord{255, 255}); id != MaxTiles-1 {
+		t.Errorf("last tile id = %d, want %d", id, MaxTiles-1)
+	}
+
+	for _, dims := range [][2]int{{257, 256}, {MaxDim + 1, 3}, {3, MaxDim + 1}, {1 << 16, 1 << 16}} {
+		func(w, h int) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMesh(%d, %d) did not panic", w, h)
+				}
+			}()
+			NewMesh(w, h)
+		}(dims[0], dims[1])
+	}
+}
+
+// Frame-space exhaustion on the vm side is exercised in internal/vm; here we
+// pin the geometric invariant it depends on: every tile id fits MaxTiles.
+func TestCoordRoundTripAtScale(t *testing.T) {
+	m := NewMesh(30, 30)
+	for id := 0; id < m.NumTiles(); id++ {
+		if got := m.NodeID(m.CoordOf(id)); got != id {
+			t.Fatalf("roundtrip %d -> %d", id, got)
+		}
+	}
+}

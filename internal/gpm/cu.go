@@ -27,6 +27,11 @@ func (c *cuState) Event(sim.EventArg) { c.g.issue(c.idx) }
 // LoadTrace assigns the address trace CU cu will execute. All traces must be
 // loaded before Start; the issue machinery holds pointers into g.cus.
 func (g *GPM) LoadTrace(cu int, trace []vm.VAddr) {
+	if len(trace) == 0 && len(g.cus) == 0 {
+		// Nothing to run and nothing built yet: an all-idle GPM never grows
+		// its CU array (or the rest of its hierarchy — see ensure).
+		return
+	}
 	for len(g.cus) < g.cfg.NumCUs {
 		g.cus = append(g.cus, cuState{})
 	}
@@ -42,8 +47,10 @@ func (g *GPM) Start(gap sim.VTime, onFinish func(id int, at sim.VTime)) {
 	}
 	g.gap = gap
 	g.onFinish = onFinish
-	for len(g.cus) < g.cfg.NumCUs {
-		g.cus = append(g.cus, cuState{})
+	if len(g.cus) > 0 {
+		for len(g.cus) < g.cfg.NumCUs {
+			g.cus = append(g.cus, cuState{})
+		}
 	}
 	g.running = 0
 	for i := range g.cus {
@@ -54,10 +61,13 @@ func (g *GPM) Start(gap sim.VTime, onFinish func(id int, at sim.VTime)) {
 		}
 	}
 	if g.running == 0 {
+		// Idle GPM: finish immediately (same event time as the eager
+		// layout) without materializing anything.
 		fin := g.onFinish
 		g.eng.Schedule(0, func() { fin(g.ID, g.eng.Now()) })
 		return
 	}
+	g.ensure()
 	for i := range g.cus {
 		if len(g.cus[i].trace) > 0 {
 			// Stagger CU start cycles slightly to avoid artificial lockstep.

@@ -19,6 +19,7 @@ type LineFetcher interface {
 // available to the CU. The closure-compat form of the op state machine
 // (op.go).
 func (g *GPM) Access(cu int, va vm.VAddr, pte vm.PTE, done func()) {
+	g.ensure()
 	o := g.getOp(cu, va)
 	o.doneD = done
 	o.startAccess(pte)
@@ -48,12 +49,14 @@ func (g *GPM) fillL2(line uint64) {
 // ServeLine services a remote cacheline fetch against this GPM's HBM; the
 // system's fetch path routes requests here and carries the response back.
 func (g *GPM) ServeLine(line uint64, done func()) {
+	g.ensure()
 	doneAt := g.hbm.Access(g.eng.Now(), cache.LineSize)
 	g.eng.At(doneAt, done)
 }
 
 // ServeLineH is ServeLine with a typed completion.
 func (g *GPM) ServeLineH(line uint64, h sim.Handler, arg sim.EventArg) {
+	g.ensure()
 	doneAt := g.hbm.Access(g.eng.Now(), cache.LineSize)
 	g.eng.PostAt(doneAt, h, arg)
 }

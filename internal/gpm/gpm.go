@@ -66,6 +66,19 @@ type GPM struct {
 	cfg config.GPM
 	ps  vm.PageSize
 
+	// mat is set once ensure has materialized the translation and data
+	// hierarchies below. A GPM that never sees traffic (no trace, no peer
+	// probe, no line fetch) stays unmaterialized and costs only this
+	// header — on a giant wafer running a concentrated footprint, idle
+	// tiles pay nothing for TLB arrays, cuckoo tables or caches.
+	mat bool
+	// seed, when non-nil, runs once at materialization to populate the
+	// cuckoo filter (SeedFilter); it replaces an eager ReseedFilter call
+	// at build time.
+	seed func(*GPM)
+	// reg defers per-level TLB metric attachment to materialization.
+	reg *metrics.Registry
+
 	// Translation hierarchy.
 	l1TLBs  []*tlb.TLB
 	l2TLB   *tlb.TLB
@@ -137,6 +150,7 @@ type gpmMetrics struct {
 // TLB hit/miss counters (tlb.l1, tlb.l2, tlb.ll, tlb.aux), op issue and
 // stall counters (gpm.*), and the remote-translation latency histogram.
 func (g *GPM) AttachMetrics(reg *metrics.Registry) {
+	g.reg = reg
 	g.m = &gpmMetrics{
 		opsIssued:    reg.Counter("gpm.ops.issued"),
 		opsCompleted: reg.Counter("gpm.ops.completed"),
@@ -146,36 +160,87 @@ func (g *GPM) AttachMetrics(reg *metrics.Registry) {
 		probeHits:    reg.Counter("gpm.probes.hits"),
 		remoteLat:    reg.Histogram("gpm.remote.latency"),
 	}
-	l1Hits, l1Misses := reg.Counter("tlb.l1.hits"), reg.Counter("tlb.l1.misses")
+	// Create the shared per-level TLB counters now so the registry's series
+	// set does not depend on which GPMs end up seeing traffic; the actual
+	// TLB instances attach at materialization.
+	for _, name := range [...]string{"tlb.l1", "tlb.l2", "tlb.ll", "tlb.aux"} {
+		reg.Counter(name + ".hits")
+		reg.Counter(name + ".misses")
+	}
+	if g.mat {
+		g.attachLevelMetrics()
+	}
+}
+
+// attachLevelMetrics wires the materialized TLB instances into the shared
+// per-level counters. Called from AttachMetrics when already materialized,
+// or from ensure when metrics were attached first.
+func (g *GPM) attachLevelMetrics() {
+	l1Hits, l1Misses := g.reg.Counter("tlb.l1.hits"), g.reg.Counter("tlb.l1.misses")
 	for _, t := range g.l1TLBs {
 		t.AttachMetrics(l1Hits, l1Misses)
 	}
-	g.l2TLB.AttachMetrics(reg.Counter("tlb.l2.hits"), reg.Counter("tlb.l2.misses"))
-	g.llTLB.AttachMetrics(reg.Counter("tlb.ll.hits"), reg.Counter("tlb.ll.misses"))
-	g.aux.AttachMetrics(reg.Counter("tlb.aux.hits"), reg.Counter("tlb.aux.misses"))
+	g.l2TLB.AttachMetrics(g.reg.Counter("tlb.l2.hits"), g.reg.Counter("tlb.l2.misses"))
+	g.llTLB.AttachMetrics(g.reg.Counter("tlb.ll.hits"), g.reg.Counter("tlb.ll.misses"))
+	g.aux.AttachMetrics(g.reg.Counter("tlb.aux.hits"), g.reg.Counter("tlb.aux.misses"))
 }
 
-// New builds a GPM with the given configuration. The local page table must
-// already be populated by the placement layer.
+// New builds a GPM header with the given configuration. The local page
+// table must already be populated by the placement layer. The translation
+// and data hierarchies (TLB arrays, cuckoo filter, caches, HBM model) are
+// NOT built here — ensure materializes them on the first request, so a
+// giant wafer's idle tiles allocate nothing.
 func New(eng *sim.Engine, id int, coord geom.Coord, cfg config.GPM, ps vm.PageSize, localPT *vm.PageTable) *GPM {
-	g := &GPM{
+	return &GPM{
 		ID: id, Coord: coord, eng: eng, cfg: cfg, ps: ps,
-		l2TLB:   tlb.New(cfg.L2TLB),
-		l2MSHR:  tlb.NewMSHR(cfg.L2TLB.MSHRs),
-		llTLB:   tlb.New(cfg.GMMUCache),
-		aux:     NewAuxCache(cfg.AuxTLB),
 		localPT: localPT,
-		walkers: sim.NewPool(cfg.GMMUWalkers),
-		l2Cache: cache.New(cfg.L2Cache),
-		hbm:     dram.New(cfg.HBM),
 		ReqPool: xlat.NewRequestPool(),
 	}
-	g.filter = cuckoo.New(localPT.Len()*2 + 64)
+}
+
+// ensure materializes the GPM's translation and data hierarchies on first
+// use. Every traffic entry point (local issue, peer probe, remote walk,
+// line fetch, shootdown) funnels through here; pure stat readers
+// (TLBStats, AuxLen, AuxStats) deliberately do not, so assembling results
+// never defeats the laziness.
+func (g *GPM) ensure() {
+	if g.mat {
+		return
+	}
+	g.mat = true
+	cfg := g.cfg
+	g.l2TLB = tlb.New(cfg.L2TLB)
+	g.l2MSHR = tlb.NewMSHR(cfg.L2TLB.MSHRs)
+	g.llTLB = tlb.New(cfg.GMMUCache)
+	g.aux = NewAuxCache(cfg.AuxTLB)
+	g.walkers = sim.NewPool(cfg.GMMUWalkers)
+	g.l2Cache = cache.New(cfg.L2Cache)
+	g.hbm = dram.New(cfg.HBM)
+	g.filter = cuckoo.New(g.localPT.Len()*2 + 64)
 	for i := 0; i < cfg.NumCUs; i++ {
 		g.l1TLBs = append(g.l1TLBs, tlb.New(cfg.L1TLB))
 		g.l1Caches = append(g.l1Caches, cache.New(cfg.L1VCache))
 	}
-	return g
+	if g.seed != nil {
+		seed := g.seed
+		g.seed = nil
+		seed(g)
+	}
+	if g.reg != nil {
+		g.attachLevelMetrics()
+	}
+}
+
+// SeedFilter registers fn to populate the cuckoo filter when the GPM
+// materializes (typically via ReseedFilter). The system builder uses this
+// instead of seeding eagerly so idle tiles never enumerate their local
+// pages; fn runs at most once.
+func (g *GPM) SeedFilter(fn func(*GPM)) {
+	if g.mat {
+		fn(g)
+		return
+	}
+	g.seed = fn
 }
 
 // TLBStats returns per-level TLB statistics for this GPM: "l1" aggregated
@@ -183,6 +248,11 @@ func New(eng *sim.Engine, id int, coord geom.Coord, cfg config.GPM, ps vm.PageSi
 // "aux" (the auxiliary translation cache). The attribution layer's TLB
 // section reads hit rates and lookup volumes through this seam.
 func (g *GPM) TLBStats() map[string]tlb.Stats {
+	if !g.mat {
+		// Unmaterialized: no lookups ever happened. Report the same four
+		// levels, all zero, without building the hierarchy.
+		return map[string]tlb.Stats{"l1": {}, "l2": {}, "ll": {}, "aux": {}}
+	}
 	var l1 tlb.Stats
 	for _, t := range g.l1TLBs {
 		l1.Add(t.Stats)
@@ -201,13 +271,37 @@ func (g *GPM) TLBStats() map[string]tlb.Stats {
 // does not enumerate), so the system builder calls this per region chunk
 // after allocation.
 func (g *GPM) ReseedFilter(pid vm.PID, vpns []vm.VPN) {
+	g.ensure()
 	for _, v := range vpns {
 		g.filter.Insert(filterKey(tlb.Key{PID: pid, VPN: v}))
 	}
 }
 
-// Aux exposes the auxiliary cache to schemes.
-func (g *GPM) Aux() *AuxCache { return g.aux }
+// Aux exposes the auxiliary cache to schemes, materializing on demand.
+// Result assembly reads aux occupancy through AuxLen/AuxStats instead,
+// which stay nil-safe and never materialize.
+func (g *GPM) Aux() *AuxCache {
+	g.ensure()
+	return g.aux
+}
+
+// AuxLen reports the auxiliary cache's live entry count; zero for an
+// unmaterialized GPM.
+func (g *GPM) AuxLen() int {
+	if !g.mat {
+		return 0
+	}
+	return g.aux.Len()
+}
+
+// AuxStats reports the auxiliary cache's TLB counters; all zero for an
+// unmaterialized GPM.
+func (g *GPM) AuxStats() tlb.Stats {
+	if !g.mat {
+		return tlb.Stats{}
+	}
+	return g.aux.Stats()
+}
 
 // Engine returns the shared simulation engine.
 func (g *GPM) Engine() *sim.Engine { return g.eng }
@@ -219,6 +313,7 @@ func (g *GPM) PageSize() vm.PageSize { return g.ps }
 // closure-compat form of the op state machine (op.go); the CU issue path
 // drives ops directly without a per-op callback.
 func (g *GPM) Translate(cu int, va vm.VAddr, done func(vm.PTE)) {
+	g.ensure()
 	o := g.getOp(cu, va)
 	o.doneT = done
 	o.startTranslate()
@@ -277,6 +372,7 @@ func (g *GPM) RequestDone(req *xlat.Request, res xlat.Result) {
 // performs the aux lookup. done reports the PTE, its push origin, and
 // whether it hit.
 func (g *GPM) ProbeAux(k tlb.Key, latency sim.VTime, done func(vm.PTE, xlat.PushOrigin, bool)) {
+	g.ensure()
 	g.Stats.ProbesServed++
 	if g.m != nil {
 		g.m.probes.Inc()
@@ -300,6 +396,7 @@ func (g *GPM) ProbeAux(k tlb.Key, latency sim.VTime, done func(vm.PTE, xlat.Push
 
 // ProbeL2TLB services a Valkyrie-style neighbour probe of the shared L2 TLB.
 func (g *GPM) ProbeL2TLB(k tlb.Key, done func(vm.PTE, bool)) {
+	g.ensure()
 	g.Stats.ProbesServed++
 	if g.m != nil {
 		g.m.probes.Inc()
@@ -320,17 +417,20 @@ func (g *GPM) ProbeL2TLB(k tlb.Key, done func(vm.PTE, bool)) {
 // WalkForPeer services a Trans-FW remote walk against this GPM's local page
 // table, sharing the GMMU walker pool with local translations.
 func (g *GPM) WalkForPeer(k tlb.Key, done func(vm.PTE, bool)) {
+	g.ensure()
 	g.walkLocal(k, done)
 }
 
 // InstallAux accepts a pushed PTE into the auxiliary cache.
 func (g *GPM) InstallAux(pte vm.PTE, origin xlat.PushOrigin) {
+	g.ensure()
 	g.aux.Install(pte, origin)
 }
 
 // CacheOnPath installs a translation observed flowing through this GPM
 // (route-based caching, §IV-B). It shares the aux structure.
 func (g *GPM) CacheOnPath(pte vm.PTE) {
+	g.ensure()
 	g.aux.Install(pte, xlat.PushDemand)
 }
 
@@ -338,5 +438,6 @@ func (g *GPM) CacheOnPath(pte vm.PTE) {
 // migration target) with the local-page-table cuckoo filter; the page table
 // itself is updated by the placement layer.
 func (g *GPM) AddLocalMapping(pid vm.PID, vpn vm.VPN) {
+	g.ensure()
 	g.filter.Insert(filterKey(tlb.Key{PID: pid, VPN: vpn}))
 }

@@ -12,6 +12,10 @@ import (
 // in total. The paper's scope needs this only when memory is freed (§II-A);
 // the page-migration extension reuses it per migrated page.
 func (g *GPM) Shootdown(keys []tlb.Key) int {
+	// Materialize rather than short-circuit: the filter must reflect local
+	// page-table removals even if this GPM has seen no traffic yet, or a
+	// later seed would resurrect a mapping the table no longer has.
+	g.ensure()
 	n := 0
 	for _, k := range keys {
 		for _, l1 := range g.l1TLBs {

@@ -36,18 +36,40 @@ type Stats struct {
 	MaxHops   int
 }
 
-type link struct {
-	line sim.Line
-	debt float64
+// linkSlab holds the state of materialized links in structure-of-arrays
+// form: three parallel slices, four consecutive entries (one per direction)
+// per materialized tile. nextFree/busy mirror sim.Line's fields; debt is
+// the fractional serialisation carry. Slabs grow only when a tile first
+// sends, so an idle region of a giant wafer costs zero link bytes.
+type linkSlab struct {
+	nextFree []sim.VTime
+	busy     []sim.VTime
+	debt     []float64
 }
+
+// grow appends one zeroed 4-link block and returns its base index.
+func (s *linkSlab) grow() int32 {
+	base := int32(len(s.busy))
+	s.nextFree = append(s.nextFree, 0, 0, 0, 0)
+	s.busy = append(s.busy, 0, 0, 0, 0)
+	s.debt = append(s.debt, 0, 0, 0, 0)
+	return base
+}
+
+// noLink marks a tile whose output links have never carried traffic.
+const noLink = int32(-1)
 
 // Mesh is the wafer network. It is driven by the shared simulation engine.
 type Mesh struct {
 	cfg    Config
 	eng    *sim.Engine
 	layout *geom.Mesh
-	// links[from][dir]: four directed output links per tile.
-	links []([4]*link)
+	// tile[i] is the base index of tile i's 4-link block inside the slab
+	// owned by the tile's domain (slabs[0] when serial), or noLink while
+	// the tile has never sent. Entries are only ever written by the domain
+	// owning the tile, so the sparse map needs no synchronisation.
+	tile  []int32
+	slabs []linkSlab
 	Stats Stats
 
 	// Sharded mode (Shard): per-tile domain map, per-domain engines and
@@ -85,15 +107,48 @@ const (
 	dirNorth
 )
 
-// New builds the network over the given wafer layout.
+// New builds the network over the given wafer layout. Link state is
+// sparse: only the tile index array is sized by topology; the per-link
+// slab entries materialize on first traffic.
 func New(eng *sim.Engine, layout *geom.Mesh, cfg Config) *Mesh {
-	m := &Mesh{cfg: cfg, eng: eng, layout: layout, links: make([][4]*link, layout.NumTiles())}
-	for i := range m.links {
-		for d := 0; d < 4; d++ {
-			m.links[i][d] = &link{}
-		}
+	m := &Mesh{cfg: cfg, eng: eng, layout: layout, tile: make([]int32, layout.NumTiles()), slabs: make([]linkSlab, 1)}
+	for i := range m.tile {
+		m.tile[i] = noLink
 	}
 	return m
+}
+
+// slabFor returns the slab owning tile id's links: the single serial slab,
+// or the slab of the tile's domain in sharded mode.
+func (m *Mesh) slabFor(id int) *linkSlab {
+	if m.dom == nil {
+		return &m.slabs[0]
+	}
+	return &m.slabs[m.dom[id]]
+}
+
+// linkIndex returns the slab and element index of tile id's output link in
+// direction dir, materializing the tile's 4-link block on first use.
+func (m *Mesh) linkIndex(id, dir int) (*linkSlab, int) {
+	s := m.slabFor(id)
+	base := m.tile[id]
+	if base == noLink {
+		base = s.grow()
+		m.tile[id] = base
+	}
+	return s, int(base) + dir
+}
+
+// linkProbe reports one directed link's busy cycles and fractional debt
+// without materializing it; ok is false while the link is untouched.
+// Test-only observability into the sparse representation.
+func (m *Mesh) linkProbe(id, dir int) (busy sim.VTime, debt float64, ok bool) {
+	base := m.tile[id]
+	if base == noLink {
+		return 0, 0, false
+	}
+	s := m.slabFor(id)
+	return s.busy[int(base)+dir], s.debt[int(base)+dir], true
 }
 
 // AttachMetrics mirrors mesh activity into reg: noc.messages and
@@ -120,16 +175,12 @@ func (m *Mesh) FlushMetrics() {
 		return
 	}
 	var total sim.VTime
-	for i := range m.links {
-		c := m.layout.CoordOf(i)
-		for d := 0; d < 4; d++ {
-			busy := m.links[i][d].line.BusyCycles
-			total += busy
-			if busy > 0 {
-				m.reg.Gauge(fmt.Sprintf("noc.link.busy.x%dy%d.%s", c.X, c.Y, dirNames[d])).Set(int64(busy))
-			}
+	m.VisitLinks(func(c geom.Coord, dir string, busy sim.VTime) {
+		total += busy
+		if busy > 0 {
+			m.reg.Gauge(fmt.Sprintf("noc.link.busy.x%dy%d.%s", c.X, c.Y, dir)).Set(int64(busy))
 		}
-	}
+	})
 	m.reg.Gauge("noc.links.busy_total").Set(int64(total))
 }
 
@@ -146,6 +197,14 @@ func (m *Mesh) Shard(engs []*sim.Engine, dom []int32) {
 	m.engs = engs
 	m.dom = dom
 	m.stats = make([]Stats, len(engs))
+	// One link slab per domain: a hop's link state is only touched by the
+	// domain owning the hop's source tile, so each slab grows privately and
+	// the sharded run needs no link locks. Sharding happens at wiring time,
+	// before any traffic, so no materialized state is carried over.
+	if len(m.slabs[0].busy) > 0 {
+		panic("noc: Shard after traffic has materialized links")
+	}
+	m.slabs = make([]linkSlab, len(engs))
 }
 
 // engFor returns the engine owning tile id.
@@ -246,19 +305,27 @@ func (t *transfer) step() {
 	m := t.m
 	next := nextHop(t.cur, t.dst)
 	curID := m.layout.NodeID(t.cur)
-	l := m.links[curID][dirOf(t.cur, next)]
+	s, li := m.linkIndex(curID, dirOf(t.cur, next))
 	// Serialisation: accumulate fractional cycles so small messages still
 	// consume bandwidth in aggregate.
-	l.debt += float64(t.size) / m.cfg.BytesPerCycle
+	s.debt[li] += float64(t.size) / m.cfg.BytesPerCycle
 	hold := sim.VTime(0)
-	if l.debt >= 1 {
-		whole := sim.VTime(l.debt)
-		l.debt -= float64(whole)
+	if s.debt[li] >= 1 {
+		whole := sim.VTime(s.debt[li])
+		s.debt[li] -= float64(whole)
 		hold = whole
 	}
 	eng := m.engFor(curID)
 	now := eng.Now()
-	_, end := l.line.Occupy(now, hold)
+	// Inline sim.Line.Occupy over the slab entry: start at max(now,
+	// nextFree), hold the link, accumulate busy cycles.
+	start := now
+	if s.nextFree[li] > start {
+		start = s.nextFree[li]
+	}
+	end := start + hold
+	s.nextFree[li] = end
+	s.busy[li] += hold
 	arrive := end + m.cfg.HopLatency
 	if m.Trace != nil {
 		m.Trace.HopSpan(uint64(now), uint64(arrive), t.cur.X, t.cur.Y, next.X, next.Y, t.size)
@@ -322,16 +389,23 @@ func (m *Mesh) SendH(src, dst geom.Coord, size int, h sim.Handler, arg sim.Event
 	m.send(src, dst, size, h, arg, nil)
 }
 
-// VisitLinks calls fn for every directed output link with its tile
-// coordinate, direction label ("e", "w", "s", "n") and accumulated busy
-// cycles, in deterministic tile-major order. The attribution sampler and
-// heatmap builders read link occupancy through this seam; like everything
-// else in the observability layer it is read-only.
+// VisitLinks calls fn for every materialized directed output link with its
+// tile coordinate, direction label ("e", "w", "s", "n") and accumulated
+// busy cycles, in deterministic tile-major order. Links that never carried
+// traffic are not materialized and not visited — their busy cycles are
+// identically zero, so every consumer (attribution sampler, heatmap
+// builders, conservation checks) observes the same totals as an eager
+// walk. Like everything else in the observability layer it is read-only.
 func (m *Mesh) VisitLinks(fn func(c geom.Coord, dir string, busy sim.VTime)) {
-	for i := range m.links {
+	for i := range m.tile {
+		base := m.tile[i]
+		if base == noLink {
+			continue
+		}
+		s := m.slabFor(i)
 		c := m.layout.CoordOf(i)
 		for d := 0; d < 4; d++ {
-			fn(c, dirNames[d], m.links[i][d].line.BusyCycles)
+			fn(c, dirNames[d], s.busy[int(base)+d])
 		}
 	}
 }
@@ -346,9 +420,9 @@ func (m *Mesh) LatencyLowerBound(src, dst geom.Coord) sim.VTime {
 // for coarse congestion reporting.
 func (m *Mesh) LinkUtilization() sim.VTime {
 	var t sim.VTime
-	for i := range m.links {
-		for d := 0; d < 4; d++ {
-			t += m.links[i][d].line.BusyCycles
+	for i := range m.slabs {
+		for _, b := range m.slabs[i].busy {
+			t += b
 		}
 	}
 	return t

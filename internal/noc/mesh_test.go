@@ -224,8 +224,45 @@ func TestFractionalDebtSpreadOverTime(t *testing.T) {
 	}
 	// The accumulated whole cycles plus the residual debt equal the exact
 	// serialisation demand: no bandwidth created or destroyed.
-	l := m.links[m.layout.NodeID(src)][dirEast]
-	if sum := got + l.debt; sum != exact {
+	_, debt, ok := m.linkProbe(m.layout.NodeID(src), dirEast)
+	if !ok {
+		t.Fatal("hammered link not materialized")
+	}
+	if sum := got + debt; sum != exact {
 		t.Errorf("busy+debt = %v, want exactly %v", sum, exact)
+	}
+}
+
+// Sparse accounting: tiles that never send stay unmaterialized (zero link
+// bytes), and VisitLinks walks only materialized tiles while reporting the
+// same busy totals as LinkUtilization.
+func TestSparseLinksOnlyTouchedMaterialize(t *testing.T) {
+	eng, m := mkMesh()
+	src, dst := geom.XY(0, 0), geom.XY(2, 0)
+	m.Send(src, dst, 768*4, func() {})
+	eng.Run()
+	touched := 0
+	for id := range m.tile {
+		if m.tile[id] != noLink {
+			touched++
+		}
+	}
+	if touched != 2 { // (0,0) and (1,0) send east; (2,0) never sends
+		t.Errorf("materialized tiles = %d, want 2", touched)
+	}
+	var visited int
+	var sum sim.VTime
+	m.VisitLinks(func(_ geom.Coord, _ string, busy sim.VTime) {
+		visited++
+		sum += busy
+	})
+	if visited != 2*4 {
+		t.Errorf("VisitLinks visited %d links, want 8", visited)
+	}
+	if sum != m.LinkUtilization() {
+		t.Errorf("VisitLinks busy sum %d != LinkUtilization %d", sum, m.LinkUtilization())
+	}
+	if _, _, ok := m.linkProbe(m.layout.NodeID(dst), dirEast); ok {
+		t.Error("destination tile materialized despite never sending")
 	}
 }

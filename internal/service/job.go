@@ -17,6 +17,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"time"
+
+	"hdpat/internal/config"
 )
 
 // Kind names what a job simulates.
@@ -51,6 +53,14 @@ type JobSpec struct {
 	// Workers bounds how many of the job's runs execute concurrently
 	// (0 = the daemon's default).
 	Workers int `json:"workers,omitempty"`
+	// MeshW and MeshH override the daemon's wafer geometry for this job
+	// (0 = the daemon's default mesh). Both must be set together; bounds
+	// follow config.MaxMeshDim/MaxTiles so a hostile spec is rejected at
+	// submission instead of panicking inside geometry construction. The
+	// fields are omitempty, so specs that leave them unset keep their
+	// pre-existing canonical encoding and job identity.
+	MeshW int `json:"mesh_w,omitempty"`
+	MeshH int `json:"mesh_h,omitempty"`
 	// Attribution attaches the per-request latency ledger to every run and
 	// adds a rendered report.md artifact.
 	Attribution bool `json:"attribution,omitempty"`
@@ -85,6 +95,22 @@ func (s JobSpec) Validate() error {
 	}
 	if s.OpsBudget < 0 || s.Workers < 0 {
 		return fmt.Errorf("service: ops_budget and workers must be >= 0")
+	}
+	if s.MeshW != 0 || s.MeshH != 0 {
+		if s.MeshW <= 0 || s.MeshH <= 0 {
+			return fmt.Errorf("service: mesh_w and mesh_h must be set together and positive")
+		}
+		if s.MeshW < 3 || s.MeshH < 3 {
+			return fmt.Errorf("service: mesh %dx%d too small; need at least 3x3", s.MeshW, s.MeshH)
+		}
+		// Per-dimension cap first, so the product below cannot overflow.
+		if s.MeshW > config.MaxMeshDim || s.MeshH > config.MaxMeshDim {
+			return fmt.Errorf("service: mesh dimension exceeds %d", config.MaxMeshDim)
+		}
+		if s.MeshW*s.MeshH > config.MaxTiles {
+			return fmt.Errorf("service: mesh %dx%d exceeds the %d-tile bound",
+				s.MeshW, s.MeshH, config.MaxTiles)
+		}
 	}
 	return nil
 }

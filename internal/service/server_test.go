@@ -305,3 +305,73 @@ func TestHTTPErrors(t *testing.T) {
 		t.Errorf("progress of unknown job = %d", code)
 	}
 }
+
+// Hostile mesh geometry in a submitted spec must come back as HTTP 400 —
+// never reach a run where it would panic inside mesh construction. Covers
+// both the JobSpec.Validate bounds and the Options.CheckSpec seam cmd/hdpatd
+// wires to the full config validation.
+func TestHostileMeshSpecRejected(t *testing.T) {
+	checked := 0
+	svc, err := Open(Options{
+		Dir: t.TempDir(),
+		Run: fakeRun,
+		CheckSpec: func(spec JobSpec) error {
+			checked++
+			if spec.Benchmark == "vetoed" {
+				return fmt.Errorf("daemon config rejects this spec")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer func() { srv.Close(); svc.Close() }()
+
+	base := JobSpec{Kind: KindSimulate, Scheme: "hdpat", Benchmark: "FIR", OpsBudget: 4}
+	hostile := []func(*JobSpec){
+		func(s *JobSpec) { s.MeshW = 0; s.MeshH = 30 },     // one-sided override
+		func(s *JobSpec) { s.MeshW = -4; s.MeshH = -4 },    // negative
+		func(s *JobSpec) { s.MeshW = 2; s.MeshH = 2 },      // below minimum
+		func(s *JobSpec) { s.MeshW = 1 << 20; s.MeshH = 1 << 20 }, // would overflow W*H
+		func(s *JobSpec) { s.MeshW = 1024; s.MeshH = 1024 }, // over the tile cap
+	}
+	for i, mutate := range hostile {
+		spec := base
+		mutate(&spec)
+		if _, code := postJob(t, srv, spec); code != http.StatusBadRequest {
+			t.Errorf("hostile spec %d accepted with %d, want 400", i, code)
+		}
+	}
+	// The CheckSpec veto also surfaces as a client error.
+	spec := base
+	spec.Benchmark = "vetoed"
+	if _, code := postJob(t, srv, spec); code != http.StatusBadRequest {
+		t.Errorf("CheckSpec veto = %d, want 400", code)
+	}
+	if checked == 0 {
+		t.Error("CheckSpec never invoked")
+	}
+	// A sane 30x30 override passes validation and runs.
+	spec = base
+	spec.MeshW, spec.MeshH = 30, 30
+	st, code := postJob(t, srv, spec)
+	if code != http.StatusCreated {
+		t.Fatalf("valid 30x30 spec = %d, want 201", code)
+	}
+	if got := pollDone(t, srv, st.ID); got.State != StateDone {
+		t.Fatalf("30x30 job state %s: %s", got.State, got.Error)
+	}
+}
+
+// Mesh override fields are omitempty: specs that never set them keep their
+// pre-existing canonical encoding, so job IDs from earlier daemon versions
+// still deduplicate against the same spec submitted today.
+func TestMeshFieldsOmittedFromCanonicalSpec(t *testing.T) {
+	spec := JobSpec{Kind: KindSimulate, Scheme: "hdpat", Benchmark: "FIR"}
+	data, _ := json.Marshal(spec)
+	if strings.Contains(string(data), "mesh") {
+		t.Fatalf("unset mesh fields leak into canonical encoding: %s", data)
+	}
+}

@@ -53,6 +53,12 @@ type Options struct {
 	Logger *slog.Logger
 	// FlightEvents bounds each job's flight-recorder ring (default 256).
 	FlightEvents int
+	// CheckSpec, when set, vets each submitted spec beyond JobSpec.Validate.
+	// cmd/hdpatd plugs in the full config.Validate on the job's effective
+	// system config, so a hostile spec (overflowing mesh, bad scale) is
+	// rejected as a client error at submission instead of failing — or
+	// panicking — deep inside a run.
+	CheckSpec func(JobSpec) error
 }
 
 // ErrClosed reports an operation on a closed service.
@@ -369,6 +375,11 @@ func (s *Service) Registry() *metrics.Registry { return s.reg }
 func (s *Service) Submit(spec JobSpec) (j *Job, existed bool, err error) {
 	if err := spec.Validate(); err != nil {
 		return nil, false, err
+	}
+	if s.opts.CheckSpec != nil {
+		if err := s.opts.CheckSpec(spec); err != nil {
+			return nil, false, err
+		}
 	}
 	id := spec.ID()
 	s.mu.Lock()

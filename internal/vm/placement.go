@@ -1,5 +1,7 @@
 package vm
 
+import "fmt"
+
 // Placement implements the driver's zero-copy memory management model
 // (§II-A): each allocation's pages are evenly partitioned into contiguous
 // chunks, chunk i residing on GPM i ("pages 1-10 assigned to GPM 1, pages
@@ -42,14 +44,18 @@ func (r Region) Contains(v VPN) bool {
 }
 
 // OwnerSlice returns the page-index range [lo, hi) of this region owned by
-// GPM g under the balanced block partition.
+// GPM g under the balanced block partition. The intermediate products run
+// in 64 bits: at giant-wafer scale (tens of thousands of GPMs times
+// millions of pages) g*Pages overflows a 32-bit int.
 func (r Region) OwnerSlice(g, numGPMs int) (lo, hi int) {
-	return g * r.Pages / numGPMs, (g + 1) * r.Pages / numGPMs
+	return int(int64(g) * int64(r.Pages) / int64(numGPMs)),
+		int(int64(g+1) * int64(r.Pages) / int64(numGPMs))
 }
 
-// ownerOfIndex inverts OwnerSlice for page index idx.
+// ownerOfIndex inverts OwnerSlice for page index idx; 64-bit intermediates
+// for the same reason.
 func ownerOfIndex(idx, pages, numGPMs int) int {
-	o := ((idx+1)*numGPMs - 1) / pages
+	o := int((int64(idx+1)*int64(numGPMs) - 1) / int64(pages))
 	if o >= numGPMs {
 		o = numGPMs - 1
 	}
@@ -68,9 +74,28 @@ func NewPlacement(n int, ps PageSize) *Placement {
 	}
 	for i := range p.local {
 		p.local[i] = NewPageTable()
-		p.nextPFN[i] = PFN(uint64(i) << 24) // disjoint frame spaces per GPM
+		p.nextPFN[i] = PFN(uint64(i) << frameSpaceBits) // disjoint frame spaces per GPM
 	}
 	return p
+}
+
+// frameSpaceBits separates the per-GPM physical frame spaces: GPM i's bump
+// allocator starts at i<<frameSpaceBits. 2^24 frames of 4K pages is 64 GB
+// per GPM — far above any modelled HBM stack. takeFrame guards the
+// boundary so a pathological allocation fails loudly instead of silently
+// colliding with the next GPM's frames. (The width is part of the
+// simulated physical address layout, which cache indexing observes, so it
+// cannot be widened without perturbing every result.)
+const frameSpaceBits = 24
+
+// takeFrame hands out the next physical frame on the given GPM.
+func (p *Placement) takeFrame(owner int) PFN {
+	f := p.nextPFN[owner]
+	if uint64(f) >= (uint64(owner)+1)<<frameSpaceBits {
+		panic(fmt.Sprintf("vm: GPM %d exhausted its 2^%d-frame space", owner, frameSpaceBits))
+	}
+	p.nextPFN[owner]++
+	return f
 }
 
 // Global returns the IOMMU's global page table.
@@ -95,8 +120,7 @@ func (p *Placement) Alloc(name string, pages int, pid PID) Region {
 	for i := 0; i < pages; i++ {
 		v := r.Start + VPN(i)
 		owner := ownerOfIndex(i, pages, p.NumGPMs)
-		pte := PTE{VPN: v, PFN: p.nextPFN[owner], PID: pid, Owner: owner, Valid: true}
-		p.nextPFN[owner]++
+		pte := PTE{VPN: v, PFN: p.takeFrame(owner), PID: pid, Owner: owner, Valid: true}
 		p.global.Insert(pte)
 		p.local[owner].Insert(pte)
 	}
@@ -166,8 +190,7 @@ func (p *Placement) Migrate(v VPN, to int) (old, new PTE, ok bool) {
 	}
 	new = old
 	new.Owner = to
-	new.PFN = p.nextPFN[to]
-	p.nextPFN[to]++
+	new.PFN = p.takeFrame(to)
 	p.global.Insert(new)
 	p.local[old.Owner].Remove(v)
 	p.local[to].Insert(new)

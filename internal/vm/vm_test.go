@@ -352,3 +352,53 @@ func TestPlacementTotalPagesAndStringers(t *testing.T) {
 		t.Error("Levels != 5")
 	}
 }
+
+// Each GPM's frame space is 2^frameSpaceBits frames; the bump allocator
+// must refuse to cross into the next GPM's space rather than silently
+// handing out colliding frames.
+func TestFrameSpaceExhaustionGuard(t *testing.T) {
+	p := NewPlacement(4, Page4K)
+	// Frames for GPM 2 start at 2<<frameSpaceBits; pretend all but one
+	// have been handed out.
+	p.nextPFN[2] = PFN(uint64(3)<<frameSpaceBits - 1)
+	if f := p.takeFrame(2); uint64(f) != uint64(3)<<frameSpaceBits-1 {
+		t.Fatalf("last frame = %#x", uint64(f))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("takeFrame past the frame-space boundary did not panic")
+		}
+	}()
+	p.takeFrame(2)
+}
+
+// The block-partition arithmetic must stay exact at giant-wafer scale:
+// every page has exactly one owner, OwnerSlice tiles the index space with
+// no gaps or overlaps, and ownerOfIndex inverts it.
+func TestOwnerSliceTilesAtScale(t *testing.T) {
+	const numGPMs = 899 // 30x30 wafer minus the CPU tile
+	const pages = 1 << 20
+	next := 0
+	for g := 0; g < numGPMs; g++ {
+		lo, hi := Region{Pages: pages}.OwnerSlice(g, numGPMs)
+		if lo != next {
+			t.Fatalf("GPM %d slice starts at %d, want %d", g, lo, next)
+		}
+		if hi < lo {
+			t.Fatalf("GPM %d slice inverted: [%d,%d)", g, lo, hi)
+		}
+		next = hi
+		// Spot-check inversion at the slice edges.
+		if lo < hi {
+			if o := ownerOfIndex(lo, pages, numGPMs); o != g {
+				t.Fatalf("ownerOfIndex(%d) = %d, want %d", lo, o, g)
+			}
+			if o := ownerOfIndex(hi-1, pages, numGPMs); o != g {
+				t.Fatalf("ownerOfIndex(%d) = %d, want %d", hi-1, o, g)
+			}
+		}
+	}
+	if next != pages {
+		t.Fatalf("slices cover %d pages, want %d", next, pages)
+	}
+}

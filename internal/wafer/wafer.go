@@ -426,18 +426,25 @@ func run(ctx context.Context, cfg config.System, opts Options, nd int) (Result, 
 	}
 
 	// Build GPMs, each on its domain's engine (one shared engine serially).
+	// Filter seeding is deferred: the closure enumerates the GPM's local
+	// pages only if the GPM ever materializes, so idle tiles of a giant
+	// wafer never build a VPN list or a populated cuckoo table. Region
+	// ownership is static, so a deferred seed observes the same pages an
+	// eager one would.
 	gpms := make([]*gpm.GPM, numGPMs)
 	for i, c := range mesh.GPMs() {
 		gpms[i] = gpm.New(engAt(c), i, c, cfg.GPM, cfg.PageSize, placement.Local(i))
-		// Seed the cuckoo filter with the GPM's local pages.
-		var vpns []vm.VPN
-		for _, r := range regions {
-			lo, hi := r.OwnerSlice(i, numGPMs)
-			for p := lo; p < hi; p++ {
-				vpns = append(vpns, r.Start+vm.VPN(p))
+		id := i
+		gpms[i].SeedFilter(func(g *gpm.GPM) {
+			var vpns []vm.VPN
+			for _, r := range regions {
+				lo, hi := r.OwnerSlice(id, numGPMs)
+				for p := lo; p < hi; p++ {
+					vpns = append(vpns, r.Start+vm.VPN(p))
+				}
 			}
-		}
-		gpms[i].ReseedFilter(0, vpns)
+			g.ReseedFilter(0, vpns)
+		})
 	}
 
 	io := iommu.New(engAt(mesh.CPU), cfg.IOMMU, mesh.CPU, network, placement.Global())
@@ -633,16 +640,22 @@ func run(ctx context.Context, cfg config.System, opts Options, nd int) (Result, 
 	if migrator != nil {
 		res.Migration = migrator.Stats
 	}
-	for _, g := range gpms {
-		res.AuxLen += g.Aux().Len()
-		as := g.Aux().Stats()
+	// Structure-of-arrays assembly at exact capacity: one allocation per
+	// parallel column, no append growth — at 900+ GPMs the growth slack of
+	// three appending slices is real memory.
+	res.GPMCoords = make([]geom.Coord, numGPMs)
+	res.GPMFinish = make([]sim.VTime, numGPMs)
+	res.GPMStats = make([]gpm.Stats, numGPMs)
+	for i, g := range gpms {
+		res.AuxLen += g.AuxLen()
+		as := g.AuxStats()
 		res.AuxStats.Hits += as.Hits
 		res.AuxStats.Misses += as.Misses
 		res.AuxStats.Fills += as.Fills
 		res.AuxStats.Evictions += as.Evictions
-		res.GPMCoords = append(res.GPMCoords, g.Coord)
-		res.GPMFinish = append(res.GPMFinish, g.Stats.FinishTime)
-		res.GPMStats = append(res.GPMStats, g.Stats)
+		res.GPMCoords[i] = g.Coord
+		res.GPMFinish[i] = g.Stats.FinishTime
+		res.GPMStats[i] = g.Stats
 		if g.Stats.FinishTime > res.Cycles {
 			res.Cycles = g.Stats.FinishTime
 		}

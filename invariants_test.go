@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"hdpat"
+	"hdpat/internal/wafer"
 )
 
 // invariantSpecs is the full scheme × benchmark cross-product.
@@ -110,5 +111,30 @@ func TestInvariantsSerialVsParallel(t *testing.T) {
 		if r.Err != nil {
 			t.Errorf("%s/%s: %v", r.Spec.Scheme, r.Spec.Benchmark, r.Err)
 		}
+	}
+}
+
+// TestInvariants30x30 runs the invariant checker on the giant 30x30 wafer
+// with the concentrated scale workload (see bench_scale_test.go): the
+// conservation and accounting invariants must hold when most of the wafer
+// is unmaterialized and link state is sparse — the configuration where a
+// broken VisitLinks sweep or a resurrected lazy GPM would first show up.
+func TestInvariants30x30(t *testing.T) {
+	if testing.Short() {
+		t.Skip("30x30 run is not short")
+	}
+	res, err := wafer.Run(scaleConfig(t), wafer.Options{
+		Scheme: "hdpat", Benchmark: scaleWorkload(),
+		OpsBudget: 8, Seed: 1,
+		Invariants: true,
+	})
+	if err != nil {
+		t.Fatalf("30x30 invariants: %v", err)
+	}
+	if len(res.ValidationErrors) != 0 {
+		t.Errorf("validation errors: %v", res.ValidationErrors)
+	}
+	if res.Events == 0 || res.Cycles == 0 {
+		t.Errorf("degenerate run: events=%d cycles=%d", res.Events, res.Cycles)
 	}
 }
