@@ -41,13 +41,16 @@ check: vet staticcheck race
 # serial-vs-parallel determinism cross-check and the domain-sharded kernel's
 # serial-equivalence case (INV_DOMAINS shards; 1 skips it). The ops/rand
 # budget bounds the run to about a minute; raise INV_OPS locally for a
-# deeper sweep. See docs/invariants.md for the invariant catalogue.
+# deeper sweep. INV_ROUTING reruns the whole harness under another NoC
+# routing policy (CI gates both xy and deflect). See docs/invariants.md
+# for the invariant catalogue.
 INV_OPS ?= 2
 INV_RAND ?= 2
 INV_DOMAINS ?= 4
+INV_ROUTING ?= xy
 INV_FLAGS ?=
 verify-invariants:
-	$(GO) run ./cmd/verifyinv -ops $(INV_OPS) -rand $(INV_RAND) -domains $(INV_DOMAINS) $(INV_FLAGS)
+	$(GO) run ./cmd/verifyinv -ops $(INV_OPS) -rand $(INV_RAND) -domains $(INV_DOMAINS) -routing $(INV_ROUTING) $(INV_FLAGS)
 
 # Machine-readable benchmark run: the batch-engine benchmarks (override
 # with BENCH=...) with allocation stats, teed to results/bench.txt and

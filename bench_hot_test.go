@@ -59,6 +59,15 @@ func BenchmarkCompareHDPATD4(b *testing.B) {
 	runCompareHot(b, hdpat.DefaultConfig(), "hdpat", "PR", hdpat.WithDomains(4))
 }
 
+// BenchmarkCompareHDPATDeflect is the canonical comparison under the
+// bufferless deflection router: every hop pays the policy's route call and
+// contended hops pay the misroute probe, so against BenchmarkCompareHDPAT
+// it prices the routing seam. Informational in the bench gate (like the D
+// legs) so router tuning does not flake CI.
+func BenchmarkCompareHDPATDeflect(b *testing.B) {
+	runCompareHot(b, hdpat.DefaultConfig(), "hdpat", "PR", hdpat.WithRouting("deflect"))
+}
+
 // BenchmarkCompareHDPAT7x12 and its D4 twin repeat the comparison on the
 // enlarged Fig 22 wafer, where windows are denser and domains better fed —
 // the geometry sharding targets.

@@ -80,11 +80,11 @@ func scaleWorkload() workload.Benchmark {
 }
 
 // runScale executes one 30x30 run.
-func runScale(t testing.TB, domains int) hdpat.Result {
+func runScale(t testing.TB, domains int, routing string) hdpat.Result {
 	t.Helper()
 	res, err := wafer.Run(scaleConfig(t), wafer.Options{
 		Scheme: "hdpat", Benchmark: scaleWorkload(),
-		OpsBudget: 16, Seed: 7, Domains: domains,
+		OpsBudget: 16, Seed: 7, Domains: domains, Routing: routing,
 	})
 	if err != nil {
 		t.Fatalf("30x30 run: %v", err)
@@ -104,7 +104,7 @@ func scaleBytesPerGPM(t testing.TB) float64 {
 	var m0, m1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&m0)
-	res := runScale(t, 0)
+	res := runScale(t, 0, "")
 	runtime.ReadMemStats(&m1)
 	runtime.KeepAlive(res)
 	return float64(m1.TotalAlloc-m0.TotalAlloc) / float64(scaleGPMs)
@@ -118,13 +118,30 @@ func BenchmarkScale30x30(b *testing.B) {
 	var events uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		events += runScale(b, 0).Events
+		events += runScale(b, 0, "").Events
 	}
 	b.StopTimer()
 	if s := b.Elapsed().Seconds(); s > 0 {
 		b.ReportMetric(float64(events)/s, "events/sec")
 	}
 	b.ReportMetric(bytesPerGPM, "bytes/GPM")
+}
+
+// BenchmarkScale30x30Deflect is the deflection-routed twin of the scale
+// leg: same wafer and workload under the bufferless router, whose per-hop
+// routing decision and misroute probing are the added cost. Informational
+// in the bench gate (like the D legs) so router tuning does not flake CI.
+func BenchmarkScale30x30Deflect(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events += runScale(b, 0, "deflect").Events
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
+	}
 }
 
 // TestScale30x30BoundedMemory pins the absolute bound: a concentrated
@@ -156,11 +173,21 @@ func TestScale30x30Digests(t *testing.T) {
 	if testing.Short() {
 		t.Skip("30x30 run is not short")
 	}
-	serial := digestResult(t, runScale(t, 0))
-	if sharded := digestResult(t, runScale(t, 4)); sharded != serial {
+	serial := digestResult(t, runScale(t, 0, ""))
+	if sharded := digestResult(t, runScale(t, 4, "")); sharded != serial {
 		t.Errorf("WithDomains(4) digest %s != serial %s", sharded[:12], serial[:12])
 	}
-	got := map[string]string{"hdpat/SC30": serial}
+	// The deflection leg runs serially (the policy declares itself
+	// non-shardable) and pins its own digest alongside the XY key.
+	deflect := runScale(t, 0, "deflect")
+	if deflect.NoC.HopsTotal < deflect.NoC.ManhattanTotal {
+		t.Errorf("deflect 30x30: HopsTotal %d below Manhattan bound %d",
+			deflect.NoC.HopsTotal, deflect.NoC.ManhattanTotal)
+	}
+	got := map[string]string{
+		"hdpat/SC30":         serial,
+		"hdpat/SC30/deflect": digestResult(t, deflect),
+	}
 	if *updateScaleGolden {
 		data, err := json.MarshalIndent(got, "", "  ")
 		if err != nil {

@@ -39,8 +39,9 @@
 //   - -informational REGEX: matching benchmark names are diffed and printed
 //     but never fail the gate.
 //   - Domain-sharded legs (a D<n> suffix before the /sub-bench or
-//     GOMAXPROCS marker, e.g. BenchmarkCompareHDPATD4) are automatically
-//     informational when the new run executed on a single CPU
+//     GOMAXPROCS marker, e.g. BenchmarkCompareHDPATD4) and deflection legs
+//     (a Deflect suffix, e.g. BenchmarkCompareHDPATDeflect) are
+//     automatically informational when the new run executed on a single CPU
 //     (GOMAXPROCS 1). On one CPU those legs measure pure sharding-protocol
 //     overhead, not the speedup they exist to track, so their wall time
 //     gates CI misleadingly (see docs/performance.md, "Domain
@@ -116,15 +117,23 @@ func main() {
 // convention bench_hot_test.go uses for WithDomains variants.
 var shardedLeg = regexp.MustCompile(`^Benchmark[^/]*D[0-9]+(/|$)`)
 
+// deflectLeg matches deflection-routed benchmark legs (a Deflect suffix on
+// the top-level name, e.g. BenchmarkCompareHDPATDeflect): the router's
+// misroute probing is contention-dependent work whose cost moves with
+// scheduling noise far more than the XY hot path, so single-CPU runners
+// diff it without gating, mirroring the D-leg rule.
+var deflectLeg = regexp.MustCompile(`^Benchmark[^/]*Deflect[^/]*(/|$)`)
+
 // informational reports whether b's regression should be printed but not
 // gated: either its name matches the -informational pattern, or it is a
-// domain-sharded leg that ran on a single CPU, where sharding measures
-// protocol overhead rather than speedup.
+// domain-sharded or deflection-routed leg that ran on a single CPU, where
+// the leg measures protocol/probing overhead rather than the speedup or
+// hot-path cost it exists to track.
 func informational(b Benchmark, pat *regexp.Regexp) bool {
 	if pat != nil && pat.MatchString(b.Name) {
 		return true
 	}
-	return b.Procs <= 1 && shardedLeg.MatchString(b.Name)
+	return b.Procs <= 1 && (shardedLeg.MatchString(b.Name) || deflectLeg.MatchString(b.Name))
 }
 
 // gate describes one gated metric: its unit, its slack, and whether an

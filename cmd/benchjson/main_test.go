@@ -116,6 +116,17 @@ func TestCompareShardedLegInformationalOnSingleCPU(t *testing.T) {
 		writeReport(t, "new.json", slowD4), defaultTol()); code != 0 {
 		t.Errorf("single-CPU D4 regression gated: exit %d, want 0", code)
 	}
+	// The deflection leg follows the same rule: single CPU is informational.
+	oldDefl := `{"benchmarks":[
+	  {"name":"BenchmarkCompareHDPATDeflect","iterations":3,"metrics":[{"value":1000,"unit":"ns/op"}]}
+	]}`
+	slowDefl := `{"benchmarks":[
+	  {"name":"BenchmarkCompareHDPATDeflect","iterations":3,"metrics":[{"value":2000,"unit":"ns/op"}]}
+	]}`
+	if code := compareReports(writeReport(t, "oldd.json", oldDefl),
+		writeReport(t, "newd.json", slowDefl), defaultTol()); code != 0 {
+		t.Errorf("single-CPU Deflect regression gated: exit %d, want 0", code)
+	}
 	// The same leg on a multi-CPU runner measures the real sharding speedup
 	// and must gate.
 	oldMP := `{"benchmarks":[

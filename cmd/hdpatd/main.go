@@ -109,18 +109,22 @@ func systemConfig(name string) (hdpat.Config, error) {
 	return hdpat.Config{}, fmt.Errorf("unknown -wafer %q (7x7 or 7x12)", name)
 }
 
-// specConfig applies a spec's mesh override to the daemon's base config.
+// specConfig applies a spec's mesh and routing overrides to the daemon's
+// base config.
 func specConfig(cfg hdpat.Config, spec service.JobSpec) hdpat.Config {
 	if spec.MeshW != 0 {
 		cfg.MeshW, cfg.MeshH = spec.MeshW, spec.MeshH
+	}
+	if spec.Routing != "" {
+		cfg.NoC.Routing = spec.Routing
 	}
 	return cfg
 }
 
 // checkSpec builds the service's submission-time vet: the full
 // config.Validate on the job's effective system config, so a hostile spec
-// (overflowing mesh, absurd geometry) comes back as an HTTP 400 instead of
-// failing — or panicking — inside a run.
+// (overflowing mesh, absurd geometry, unknown routing policy) comes back as
+// an HTTP 400 instead of failing — or panicking — inside a run.
 func checkSpec(cfg hdpat.Config) func(service.JobSpec) error {
 	return func(spec service.JobSpec) error {
 		return specConfig(cfg, spec).Validate()

@@ -36,18 +36,19 @@ func main() {
 	budget := flag.Int("budget", 0, "per-CU ops budget override (0 = simulator default)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	mesh := flag.Int("mesh", 0, "square mesh side override (0 = config default)")
+	routing := flag.String("routing", "", "NoC routing policy (\"\" = xy, or \"deflect\"; heatmaps gain live deflection columns)")
 	outDir := flag.String("o", "results/report", "output directory (\"\" = stdout)")
 	traceFile := flag.String("trace", "", "replay a saved JSONL trace instead of simulating")
 	runIdx := flag.Int("run", -1, "batch run index to replay from the trace (-1 = all)")
 	flag.Parse()
 
-	if err := run(*scheme, *bench, *budget, *seed, *mesh, *outDir, *traceFile, *runIdx); err != nil {
+	if err := run(*scheme, *bench, *budget, *seed, *mesh, *routing, *outDir, *traceFile, *runIdx); err != nil {
 		fmt.Fprintln(os.Stderr, "report:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scheme, bench string, budget int, seed int64, mesh int, outDir, traceFile string, runIdx int) error {
+func run(scheme, bench string, budget int, seed int64, mesh int, routing, outDir, traceFile string, runIdx int) error {
 	out, err := newEmitter(outDir)
 	if err != nil {
 		return err
@@ -55,12 +56,12 @@ func run(scheme, bench string, budget int, seed int64, mesh int, outDir, traceFi
 	if traceFile != "" {
 		return replay(out, traceFile, runIdx)
 	}
-	return live(out, scheme, bench, budget, seed, mesh)
+	return live(out, scheme, bench, budget, seed, mesh, routing)
 }
 
 // live runs the scheme/baseline pair per benchmark with attribution on and
 // renders breakdowns, deltas and heatmaps.
-func live(out *emitter, scheme, bench string, budget int, seed int64, mesh int) error {
+func live(out *emitter, scheme, bench string, budget int, seed int64, mesh int, routing string) error {
 	cfg := hdpat.DefaultConfig()
 	if mesh > 0 {
 		cfg.MeshW, cfg.MeshH = mesh, mesh
@@ -69,6 +70,9 @@ func live(out *emitter, scheme, bench string, budget int, seed int64, mesh int) 
 	opts := []hdpat.Option{hdpat.WithSeed(seed), hdpat.WithAttribution()}
 	if budget > 0 {
 		opts = append(opts, hdpat.WithOpsBudget(budget))
+	}
+	if routing != "" {
+		opts = append(opts, hdpat.WithRouting(routing))
 	}
 	cmps, err := hdpat.CompareAll(context.Background(), cfg, []string{scheme}, benches, opts...)
 	if err != nil {

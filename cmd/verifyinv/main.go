@@ -8,12 +8,13 @@
 //
 // Usage:
 //
-//	verifyinv [-ops N] [-seed N] [-rand N] [-workers N] [-domains N] [-skip-default] [-v]
+//	verifyinv [-ops N] [-seed N] [-rand N] [-workers N] [-domains N] [-routing xy|deflect] [-skip-default] [-v]
 //
 // -ops bounds the per-CU operation budget (the knob CI uses to bound run
 // time); -rand sets how many randomized configurations to sweep; -domains
 // sets the shard count of the domain-sharded determinism case (1 disables
-// it).
+// it); -routing reruns the whole harness under a different NoC routing
+// policy (CI gates both xy and deflect).
 package main
 
 import (
@@ -36,10 +37,11 @@ func main() {
 	domains := flag.Int("domains", 4, "shard count for the domain-sharded determinism case (1 = skip)")
 	skipDefault := flag.Bool("skip-default", false, "skip the Table I default-configuration matrix")
 	scale := flag.Bool("scale", true, "run the giant-wafer (30x30) invariant case")
+	routing := flag.String("routing", "", "NoC routing policy for every run (\"\" = xy, or \"deflect\")")
 	verbose := flag.Bool("v", false, "log every run")
 	flag.Parse()
 
-	h := &harness{ops: *ops, seed: *seed, workers: *workers, domains: *domains, verbose: *verbose}
+	h := &harness{ops: *ops, seed: *seed, workers: *workers, domains: *domains, routing: *routing, verbose: *verbose}
 
 	if !*skipDefault {
 		h.matrix("default (Table I)", hdpat.DefaultConfig(), hdpat.Benchmarks())
@@ -71,10 +73,23 @@ type harness struct {
 	seed     int64
 	workers  int
 	domains  int
+	routing  string
 	verbose  bool
 	runs     int
 	failures int
 	start    time.Time
+}
+
+// opts prefixes every run's option list with the harness-wide routing
+// override; deflection declares itself non-shardable, so under -routing
+// deflect the sharding and scale cases exercise the serial fallback (the
+// Results must still match, which pins the fallback itself).
+func (h *harness) opts(extra ...hdpat.Option) []hdpat.Option {
+	var o []hdpat.Option
+	if h.routing != "" {
+		o = append(o, hdpat.WithRouting(h.routing))
+	}
+	return append(o, extra...)
 }
 
 func (h *harness) elapsed() time.Duration {
@@ -96,7 +111,7 @@ func (h *harness) matrix(desc string, cfg hdpat.Config, benches []string) {
 		}
 	}
 	results, err := hdpat.RunBatch(context.Background(), cfg, specs,
-		hdpat.WithInvariants(), hdpat.WithAttribution(), hdpat.WithWorkers(h.workers))
+		h.opts(hdpat.WithInvariants(), hdpat.WithAttribution(), hdpat.WithWorkers(h.workers))...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "FAIL %s: batch: %v\n", desc, err)
 		h.failures++
@@ -126,9 +141,9 @@ func (h *harness) determinism() {
 	cfg.MeshW, cfg.MeshH = 5, 5
 	cfg.GPM.NumCUs = 8
 	serial, err1 := hdpat.RunBatch(context.Background(), cfg, specs,
-		hdpat.WithInvariants(), hdpat.WithWorkers(1))
+		h.opts(hdpat.WithInvariants(), hdpat.WithWorkers(1))...)
 	parallel, err2 := hdpat.RunBatch(context.Background(), cfg, specs,
-		hdpat.WithInvariants(), hdpat.WithWorkers(4))
+		h.opts(hdpat.WithInvariants(), hdpat.WithWorkers(4))...)
 	if err1 != nil || err2 != nil {
 		fmt.Fprintf(os.Stderr, "FAIL determinism: %v / %v\n", err1, err2)
 		h.failures++
@@ -158,18 +173,18 @@ func (h *harness) sharding() {
 	for _, scheme := range hdpat.Schemes() {
 		h.runs += 2
 		spec := hdpat.RunSpec{Scheme: scheme, Benchmark: "SPMV", OpsBudget: h.ops, Seed: h.seed}
-		serial, err := hdpat.Simulate(cfg, spec)
+		serial, err := hdpat.Simulate(cfg, spec, h.opts()...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "FAIL sharding %s: serial: %v\n", scheme, err)
 			h.failures++
 			continue
 		}
-		if _, err := hdpat.Simulate(cfg, spec, hdpat.WithInvariants()); err != nil {
+		if _, err := hdpat.Simulate(cfg, spec, h.opts(hdpat.WithInvariants())...); err != nil {
 			fmt.Fprintf(os.Stderr, "FAIL sharding %s: invariants: %v\n", scheme, err)
 			h.failures++
 			continue
 		}
-		sharded, err := hdpat.Simulate(cfg, spec, hdpat.WithDomains(h.domains))
+		sharded, err := hdpat.Simulate(cfg, spec, h.opts(hdpat.WithDomains(h.domains))...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "FAIL sharding %s: domains=%d: %v\n", scheme, h.domains, err)
 			h.failures++
@@ -198,13 +213,13 @@ func (h *harness) scale30() {
 	cfg.MeshW, cfg.MeshH = 30, 30
 	spec := hdpat.RunSpec{Scheme: "hdpat", Benchmark: "SPMV", OpsBudget: h.ops, Seed: h.seed}
 	h.runs += 3
-	serial, err := hdpat.Simulate(cfg, spec)
+	serial, err := hdpat.Simulate(cfg, spec, h.opts()...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "FAIL scale 30x30: serial: %v\n", err)
 		h.failures++
 		return
 	}
-	if _, err := hdpat.Simulate(cfg, spec, hdpat.WithInvariants()); err != nil {
+	if _, err := hdpat.Simulate(cfg, spec, h.opts(hdpat.WithInvariants())...); err != nil {
 		fmt.Fprintf(os.Stderr, "FAIL scale 30x30: invariants: %v\n", err)
 		h.failures++
 		return
@@ -213,7 +228,7 @@ func (h *harness) scale30() {
 	if domains <= 1 {
 		domains = 4
 	}
-	sharded, err := hdpat.Simulate(cfg, spec, hdpat.WithDomains(domains))
+	sharded, err := hdpat.Simulate(cfg, spec, h.opts(hdpat.WithDomains(domains))...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "FAIL scale 30x30: domains=%d: %v\n", domains, err)
 		h.failures++

@@ -30,8 +30,10 @@ import (
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_digests.json from current outputs")
+var updateGoldenDeflect = flag.Bool("update-golden-deflect", false, "rewrite testdata/golden_digests_deflect.json from current outputs")
 
 const goldenPath = "testdata/golden_digests.json"
+const goldenDeflectPath = "testdata/golden_digests_deflect.json"
 
 // goldenBenchmarks keeps the matrix small but covers a regular-strided
 // workload, an irregular one, and a pointer-chasing one.
@@ -46,7 +48,15 @@ func digestResult(t *testing.T, res hdpat.Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "scheme=%s bench=%s cycles=%d ops=%d\n", res.Scheme, res.Benchmark, res.Cycles, res.TotalOps)
 	fmt.Fprintf(&b, "iommu=%+v\n", res.IOMMU)
-	fmt.Fprintf(&b, "noc=%+v\n", res.NoC)
+	// The noc line spells out the four original Stats fields so the XY
+	// digests stay byte-identical to the goldens generated before the
+	// routing seam grew Stats; the routing-era fields join the byte contract
+	// only when routing actually deflected something.
+	fmt.Fprintf(&b, "noc={Messages:%d ByteHops:%d HopsTotal:%d MaxHops:%d}\n",
+		res.NoC.Messages, res.NoC.ByteHops, res.NoC.HopsTotal, res.NoC.MaxHops)
+	if res.NoC.Deflections != 0 {
+		fmt.Fprintf(&b, "deflections=%d manhattan=%d\n", res.NoC.Deflections, res.NoC.ManhattanTotal)
+	}
 	fmt.Fprintf(&b, "aux=%d %+v\n", res.AuxLen, res.AuxStats)
 	fmt.Fprintf(&b, "bysource=%v\n", res.RemoteBySource())
 	fmt.Fprintf(&b, "migration=%+v\n", res.Migration)
@@ -134,6 +144,80 @@ func TestGoldenDigestsSharded(t *testing.T) {
 			if got := digestResult(t, res); got != want[k] {
 				t.Errorf("%s: WithDomains(4) digest %s != golden %s", k, got[:12], want[k][:12])
 			}
+		}
+	}
+}
+
+// TestGoldenDigestsDeflect pins the bufferless deflection router's outputs:
+// the same scheme matrix as the XY goldens, run under WithRouting("deflect"),
+// against its own digest file. Alongside the byte contract it asserts the
+// routing laws directly on every run: HopsTotal >= ManhattanTotal (paths may
+// be non-minimal but never shorter than Manhattan) and ByteHops consistency
+// with per-hop accrual.
+//
+// Regenerate (only when an intentional behaviour change is made) with:
+//
+//	go test -run TestGoldenDigestsDeflect -update-golden-deflect
+func TestGoldenDigestsDeflect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden matrix is not short")
+	}
+	got := make(map[string]string)
+	cfg := hdpat.DefaultConfig()
+	for _, scheme := range hdpat.Schemes() {
+		for _, bench := range goldenBenchmarks {
+			res, err := hdpat.Simulate(cfg, hdpat.RunSpec{Scheme: scheme, Benchmark: bench},
+				hdpat.WithOpsBudget(12), hdpat.WithSeed(7), hdpat.WithAttribution(),
+				hdpat.WithRouting("deflect"))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", scheme, bench, err)
+			}
+			if res.NoC.HopsTotal < res.NoC.ManhattanTotal {
+				t.Errorf("%s/%s: HopsTotal %d below Manhattan lower bound %d",
+					scheme, bench, res.NoC.HopsTotal, res.NoC.ManhattanTotal)
+			}
+			got[scheme+"/"+bench] = digestResult(t, res)
+		}
+	}
+	if *updateGoldenDeflect {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenDeflectPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d digests to %s", len(got), goldenDeflectPath)
+		return
+	}
+	data, err := os.ReadFile(goldenDeflectPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden-deflect): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if got[k] == "" {
+			t.Errorf("%s: run missing from matrix", k)
+			continue
+		}
+		if got[k] != want[k] {
+			t.Errorf("%s: digest %s != golden %s (output changed)", k, got[k][:12], want[k][:12])
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s: not in golden file (regenerate with -update-golden-deflect)", k)
 		}
 	}
 }

@@ -207,6 +207,7 @@ func simulate(ctx context.Context, cfg Config, spec RunSpec, rc *runConfig) (Res
 		MaxCycles:  sim.VTime(rc.maxCycles),
 		Metrics:    rc.metrics,
 		Invariants: rc.invariants,
+		Routing:    rc.routing,
 	}
 	if rc.attribution {
 		wopts.Attribution = &attr.Config{}

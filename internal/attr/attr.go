@@ -143,15 +143,19 @@ type TLBLevel struct {
 }
 
 // LinkStat is one directed mesh link's traffic and occupancy over a run.
+// Deflections counts hops this link carried that were misroutes under
+// bufferless deflection routing; identically 0 (and omitted from JSON)
+// under XY, so XY artifacts keep their exact bytes.
 type LinkStat struct {
-	X        int     `json:"x"`
-	Y        int     `json:"y"`
-	Dir      string  `json:"dir"`
-	Messages uint64  `json:"messages"`
-	Bytes    uint64  `json:"bytes"`
-	Busy     uint64  `json:"busy_cycles"`
-	Util     float64 `json:"utilization"`      // Busy / run cycles
-	PeakUtil float64 `json:"peak_window_util"` // max per-window busy delta / window
+	X           int     `json:"x"`
+	Y           int     `json:"y"`
+	Dir         string  `json:"dir"`
+	Messages    uint64  `json:"messages"`
+	Bytes       uint64  `json:"bytes"`
+	Busy        uint64  `json:"busy_cycles"`
+	Util        float64 `json:"utilization"`      // Busy / run cycles
+	PeakUtil    float64 `json:"peak_window_util"` // max per-window busy delta / window
+	Deflections uint64  `json:"deflections,omitempty"`
 }
 
 // Sample is one point of a sampled time series.
@@ -268,6 +272,7 @@ type Collector struct {
 	linkPrev  []uint64 // busy counter at last sweep
 	linkPeak  []uint64 // max per-window busy delta
 	linkFinal []uint64 // busy counter at the final probe sweep
+	linkDefl  []uint64 // deflected hops carried (bufferless routing)
 
 	queueProbe   func() int
 	walkersProbe func() int
@@ -363,7 +368,7 @@ func (c *Collector) OnWalk(start, end uint64, req, vpn uint64) {
 // are not attributed to individual requests — the mesh carries responses,
 // probes and data traffic under one span type — so per-request wire time is
 // the exact remainder computed at completion instead.
-func (c *Collector) OnHop(start, end uint64, fromX, fromY, toX, toY, size int) {
+func (c *Collector) OnHop(start, end uint64, fromX, fromY, toX, toY, size int, deflected bool) {
 	if c.finalized {
 		return
 	}
@@ -382,6 +387,9 @@ func (c *Collector) OnHop(start, end uint64, fromX, fromY, toX, toY, size int) {
 	c.linkMsgs[i]++
 	c.linkBytes[i] += uint64(size)
 	c.linkHop[i] += end - start
+	if deflected {
+		c.linkDefl[i]++
+	}
 }
 
 // linkSlot returns the SoA column index for link k, appending a zeroed
@@ -398,6 +406,7 @@ func (c *Collector) linkSlot(k linkKey) int32 {
 	c.linkPrev = append(c.linkPrev, 0)
 	c.linkPeak = append(c.linkPeak, 0)
 	c.linkFinal = append(c.linkFinal, 0)
+	c.linkDefl = append(c.linkDefl, 0)
 	return i
 }
 
@@ -520,7 +529,8 @@ func (c *Collector) Finalize(scheme, benchmark string, cycles uint64) *Breakdown
 		ls := LinkStat{
 			X: k.x, Y: k.y, Dir: k.dir,
 			Messages: c.linkMsgs[i], Bytes: c.linkBytes[i],
-			Busy: c.linkHop[i], // replay-mode proxy, overwritten below
+			Busy:        c.linkHop[i], // replay-mode proxy, overwritten below
+			Deflections: c.linkDefl[i],
 		}
 		if c.linkProbe != nil {
 			ls.Busy = c.linkFinal[i]
@@ -579,5 +589,6 @@ func (c *Collector) Finalize(scheme, benchmark string, cycles uint64) *Breakdown
 	c.linkIdx = nil
 	c.linkMsgs, c.linkBytes, c.linkHop = nil, nil, nil
 	c.linkPrev, c.linkPeak, c.linkFinal = nil, nil, nil
+	c.linkDefl = nil
 	return b
 }

@@ -120,11 +120,11 @@ func TestUnfinishedAndClipped(t *testing.T) {
 
 func TestHeatmapAndDirections(t *testing.T) {
 	c := NewCollector(Config{})
-	c.OnHop(0, 40, 1, 1, 2, 1, 64) // east from (1,1)
-	c.OnHop(0, 40, 1, 1, 0, 1, 32) // west
-	c.OnHop(0, 40, 1, 1, 1, 2, 16) // south
-	c.OnHop(0, 40, 1, 1, 1, 0, 8)  // north
-	c.OnHop(50, 90, 1, 1, 2, 1, 64)
+	c.OnHop(0, 40, 1, 1, 2, 1, 64, false) // east from (1,1)
+	c.OnHop(0, 40, 1, 1, 0, 1, 32, false) // west
+	c.OnHop(0, 40, 1, 1, 1, 2, 16, false) // south
+	c.OnHop(0, 40, 1, 1, 1, 0, 8, false)  // north
+	c.OnHop(50, 90, 1, 1, 2, 1, 64, true)
 	b := c.Finalize("s", "b", 100)
 	if len(b.Links) != 4 {
 		t.Fatalf("links = %+v", b.Links)
@@ -139,6 +139,13 @@ func TestHeatmapAndDirections(t *testing.T) {
 	if byDir["e"].Messages != 2 || byDir["e"].Bytes != 128 {
 		t.Errorf("east link = %+v", byDir["e"])
 	}
+	// The second east hop was a deflection; the other links carried none.
+	if byDir["e"].Deflections != 1 {
+		t.Errorf("east deflections = %d, want 1", byDir["e"].Deflections)
+	}
+	if byDir["w"].Deflections != 0 {
+		t.Errorf("west deflections = %d, want 0", byDir["w"].Deflections)
+	}
 	if byDir["w"].Bytes != 32 || byDir["s"].Bytes != 16 || byDir["n"].Bytes != 8 {
 		t.Errorf("links = %v", byDir)
 	}
@@ -147,7 +154,7 @@ func TestHeatmapAndDirections(t *testing.T) {
 		t.Errorf("east busy proxy = %d, want 80", byDir["e"].Busy)
 	}
 	csv := b.HeatmapCSV()
-	if !strings.HasPrefix(csv, "x,y,dir,") {
+	if !strings.HasPrefix(csv, "x,y,dir,") || !strings.Contains(csv, ",deflections\n") {
 		t.Errorf("csv header: %q", csv)
 	}
 	if got := len(strings.Split(strings.TrimSpace(csv), "\n")); got != 5 {
@@ -262,7 +269,7 @@ func TestReplayMatchesLive(t *testing.T) {
 	tr.QueueSpan("iommu.admission", 100, 110, 1)
 	tr.QueueSpan("iommu.pwq", 110, 150, 1)
 	tr.WalkSpan(150, 250, 1, 0x42)
-	tr.HopSpan(250, 290, 0, 0, 1, 0, 64)
+	tr.HopSpan(250, 290, 0, 0, 1, 0, 64, false)
 	tr.RequestSpan(80, 300, 1, 2, 5)
 	tr.MigrationSpan(0, 500, 9, 0, 3)
 	if err := tr.Close(); err != nil {
@@ -363,7 +370,7 @@ func TestFinalizeReleasesLedger(t *testing.T) {
 	// A 40x40 wafer's worth of link activity into the SoA columns.
 	for x := 0; x < 40; x++ {
 		for y := 0; y < 40; y++ {
-			c.OnHop(0, 10, x, y, x+1, y, 64)
+			c.OnHop(0, 10, x, y, x+1, y, 64, false)
 		}
 	}
 	b := c.Finalize("s", "b", 1000)

@@ -97,13 +97,15 @@ func (b *Breakdown) WriteMarkdown(w io.Writer) {
 
 // HeatmapCSV renders the per-link NoC heatmap as CSV: one row per active
 // directed link in (y, x, dir) order. Utilisation is busy cycles over the
-// run length; peak_window_util is the busiest single sampling window.
+// run length; peak_window_util is the busiest single sampling window;
+// deflections is the misrouted-hop count under bufferless deflection
+// routing (0 everywhere under XY).
 func (b *Breakdown) HeatmapCSV() string {
 	var sb strings.Builder
-	sb.WriteString("x,y,dir,messages,bytes,busy_cycles,utilization,peak_window_util\n")
+	sb.WriteString("x,y,dir,messages,bytes,busy_cycles,utilization,peak_window_util,deflections\n")
 	for _, l := range b.Links {
-		fmt.Fprintf(&sb, "%d,%d,%s,%d,%d,%d,%.4f,%.4f\n",
-			l.X, l.Y, l.Dir, l.Messages, l.Bytes, l.Busy, l.Util, l.PeakUtil)
+		fmt.Fprintf(&sb, "%d,%d,%s,%d,%d,%d,%.4f,%.4f,%d\n",
+			l.X, l.Y, l.Dir, l.Messages, l.Bytes, l.Busy, l.Util, l.PeakUtil, l.Deflections)
 	}
 	return sb.String()
 }

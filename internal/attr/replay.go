@@ -51,7 +51,8 @@ func ReplayJSONL(r io.Reader, run int) (*Breakdown, error) {
 			c.OnWalk(ts, end, num(e, "req"), num(e, "vpn"))
 		case "hop":
 			c.OnHop(ts, end, int(num(e, "fx")), int(num(e, "fy")),
-				int(num(e, "tx")), int(num(e, "ty")), int(num(e, "bytes")))
+				int(num(e, "tx")), int(num(e, "ty")), int(num(e, "bytes")),
+				num(e, "defl") != 0)
 		case "migration":
 			c.OnMigration(ts, end, num(e, "vpn"), int(num(e, "from")), int(num(e, "to")))
 		}

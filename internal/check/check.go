@@ -27,7 +27,14 @@
 //     the six terminal counters (TLB hit, MSHR merge, walk, revisit,
 //     redirect, skipped-completed).
 //   - noc.byte-hops: NoC ByteHops equals the bytes observed crossing links
-//     hop by hop (XY paths are Manhattan-length, so this is Σ size × hops).
+//     hop by hop — both sides accrue per actual link traversal, so the law
+//     holds for any routing policy, minimal paths or not.
+//   - noc.hops-lower-bound: HopsTotal is at least the sum of Manhattan
+//     distances over all messages (routing-aware: equality is additionally
+//     required, and Deflections must be zero, when Final.ExactHops marks the
+//     routing minimal, as XY is).
+//   - noc.deflections: the deflected hops observed crossing links equal
+//     Stats.Deflections, and the observed hop count equals HopsTotal.
 //   - attr.accounting: summed request-span latency equals the GPMs'
 //     RemoteLatencySum, and an attached attribution breakdown is exact
 //     (stage sums equal the total, nothing clipped or left unfinished).
@@ -113,6 +120,11 @@ type Final struct {
 	// IOMMU and NoC are the final component stats.
 	IOMMU iommu.Stats
 	NoC   noc.Stats
+	// ExactHops marks the routing policy minimal (XY): every message takes
+	// exactly Manhattan(src, dst) hops, so HopsTotal must equal
+	// ManhattanTotal and no hop may be deflected. Leave false for
+	// non-minimal policies (deflection), where only the lower bound holds.
+	ExactHops bool
 	// RemoteReqs and RemoteLatencySum aggregate gpm.Stats across GPMs.
 	RemoteReqs       uint64
 	RemoteLatencySum uint64
@@ -131,6 +143,8 @@ type Checker struct {
 	nComplete  uint64
 	latencySum uint64
 	hopBytes   uint64
+	hopCount   uint64
+	hopDefl    uint64
 	nextSample uint64
 
 	linkProbe func(LinkVisitor)
@@ -208,11 +222,16 @@ func (c *Checker) OnQueue(stage string, start, end uint64, req uint64) {}
 // OnWalk implements trace.Sink.
 func (c *Checker) OnWalk(start, end uint64, req, vpn uint64) {}
 
-// OnHop accumulates observed link bytes (trace.Sink): at settle their sum
-// must equal NoC ByteHops, since ByteHops is charged as size × path length at
-// send time and every XY path is Manhattan-length.
-func (c *Checker) OnHop(start, end uint64, fromX, fromY, toX, toY, size int) {
+// OnHop accumulates observed link traffic (trace.Sink): at settle the byte
+// sum must equal NoC ByteHops, the hop count must equal HopsTotal and the
+// deflected count must equal Stats.Deflections — all three accrue per
+// actual link traversal on both sides, so the laws are routing-independent.
+func (c *Checker) OnHop(start, end uint64, fromX, fromY, toX, toY, size int, deflected bool) {
 	c.hopBytes += uint64(size)
+	c.hopCount++
+	if deflected {
+		c.hopDefl++
+	}
 }
 
 // OnMigration implements trace.Sink.
@@ -276,6 +295,28 @@ func (c *Checker) Finish(f Final) error {
 		if c.hopBytes != f.NoC.ByteHops {
 			c.violate("noc.byte-hops", 0, f.Cycle,
 				"NoC ByteHops %d but %d bytes observed crossing links", f.NoC.ByteHops, c.hopBytes)
+		}
+		if c.hopCount != f.NoC.HopsTotal {
+			c.violate("noc.deflections", 0, f.Cycle,
+				"NoC HopsTotal %d but %d hops observed crossing links", f.NoC.HopsTotal, c.hopCount)
+		}
+		if c.hopDefl != f.NoC.Deflections {
+			c.violate("noc.deflections", 0, f.Cycle,
+				"NoC Deflections %d but %d deflected hops observed", f.NoC.Deflections, c.hopDefl)
+		}
+		if f.NoC.HopsTotal < f.NoC.ManhattanTotal {
+			c.violate("noc.hops-lower-bound", 0, f.Cycle,
+				"HopsTotal %d below the Manhattan lower bound %d", f.NoC.HopsTotal, f.NoC.ManhattanTotal)
+		}
+		if f.ExactHops {
+			if f.NoC.HopsTotal != f.NoC.ManhattanTotal {
+				c.violate("noc.hops-lower-bound", 0, f.Cycle,
+					"minimal routing took %d hops for a Manhattan total of %d", f.NoC.HopsTotal, f.NoC.ManhattanTotal)
+			}
+			if f.NoC.Deflections != 0 {
+				c.violate("noc.hops-lower-bound", 0, f.Cycle,
+					"minimal routing recorded %d deflections", f.NoC.Deflections)
+			}
 		}
 		if c.latencySum != f.RemoteLatencySum {
 			c.violate("attr.accounting", 0, f.Cycle,

@@ -27,15 +27,16 @@ func wantViolation(t *testing.T, err error, invariant string) {
 }
 
 // cleanFinal builds a Final consistent with the checker's observations after
-// n completed requests of latency each, totalBytes of hop traffic.
-func cleanFinal(n, latencyEach, hopBytes uint64) Final {
+// n completed requests of latency each, totalBytes of hop traffic over hops
+// link traversals.
+func cleanFinal(n, latencyEach, hopBytes, hops uint64) Final {
 	return Final{
 		Cycle:   10_000,
 		Settled: true,
 		IOMMU: iommu.Stats{
 			Requests: n, Walks: n,
 		},
-		NoC:              noc.Stats{ByteHops: hopBytes},
+		NoC:              noc.Stats{ByteHops: hopBytes, HopsTotal: hops, ManhattanTotal: hops},
 		RemoteReqs:       n,
 		RemoteLatencySum: n * latencyEach,
 	}
@@ -53,9 +54,9 @@ func feed(c *Checker, n int, latency uint64) {
 func TestCleanRunReportsNothing(t *testing.T) {
 	c := New(Options{})
 	feed(c, 5, 300)
-	c.OnHop(0, 40, 0, 0, 1, 0, 64)
-	c.OnHop(40, 80, 1, 0, 2, 0, 64)
-	if err := c.Finish(cleanFinal(5, 300, 128)); err != nil {
+	c.OnHop(0, 40, 0, 0, 1, 0, 64, false)
+	c.OnHop(40, 80, 1, 0, 2, 0, 64, false)
+	if err := c.Finish(cleanFinal(5, 300, 128, 2)); err != nil {
 		t.Fatalf("clean run reported: %v", err)
 	}
 }
@@ -65,7 +66,7 @@ func TestCatchesDoubleComplete(t *testing.T) {
 	c := New(Options{})
 	feed(c, 3, 300)
 	c.OnRequest(100, 400, 2, 0, 0) // request 2 completes again
-	err := c.Finish(cleanFinal(3, 300, 0))
+	err := c.Finish(cleanFinal(3, 300, 0, 0))
 	wantViolation(t, err, "request.double-complete")
 	// The duplicate also breaks completion conservation.
 	wantViolation(t, err, "request.conservation")
@@ -77,7 +78,7 @@ func TestCatchesDroppedDispatch(t *testing.T) {
 	c := New(Options{})
 	feed(c, 3, 300)
 	c.IOMMURequest(50, &xlat.Request{ID: 99}) // arrives, never completes
-	err := c.Finish(cleanFinal(3, 300, 0))
+	err := c.Finish(cleanFinal(3, 300, 0, 0))
 	wantViolation(t, err, "request.dropped")
 	if !strings.Contains(err.Error(), "req 99") {
 		t.Errorf("dropped request not identified by ID: %v", err)
@@ -95,7 +96,7 @@ func TestCatchesLostSamplerWindow(t *testing.T) {
 
 	c2 := New(Options{Window: 100})
 	c2.Sample(100)
-	f := cleanFinal(0, 0, 0)
+	f := cleanFinal(0, 0, 0, 0)
 	f.Cycle = 350 // boundaries 200 and 300 should have fired by now
 	wantViolation(t, c2.Finish(f), "sampler.lost-window")
 
@@ -103,7 +104,7 @@ func TestCatchesLostSamplerWindow(t *testing.T) {
 	c3.Sample(100)
 	c3.Sample(200)
 	c3.Sample(300)
-	f3 := cleanFinal(0, 0, 0)
+	f3 := cleanFinal(0, 0, 0, 0)
 	f3.Cycle = 350
 	if err := c3.Finish(f3); err != nil {
 		t.Fatalf("complete coverage reported: %v", err)
@@ -112,21 +113,83 @@ func TestCatchesLostSamplerWindow(t *testing.T) {
 
 func TestCatchesByteHopMismatch(t *testing.T) {
 	c := New(Options{})
-	c.OnHop(0, 40, 0, 0, 1, 0, 64)
-	f := cleanFinal(0, 0, 100) // ByteHops says 100, links carried 64
+	c.OnHop(0, 40, 0, 0, 1, 0, 64, false)
+	f := cleanFinal(0, 0, 100, 1) // ByteHops says 100, links carried 64
 	wantViolation(t, c.Finish(f), "noc.byte-hops")
+}
+
+// Mutation: hop-count accounting that disagrees with the hops actually
+// observed crossing links must be caught by name.
+func TestCatchesHopCountMismatch(t *testing.T) {
+	c := New(Options{})
+	c.OnHop(0, 40, 0, 0, 1, 0, 64, false)
+	c.OnHop(40, 80, 1, 0, 2, 0, 64, false)
+	f := cleanFinal(0, 0, 128, 3) // HopsTotal says 3, links saw 2
+	wantViolation(t, c.Finish(f), "noc.deflections")
+}
+
+// Mutation: a deflection count that disagrees with the deflected hops
+// observed must be caught by name.
+func TestCatchesDeflectionMismatch(t *testing.T) {
+	c := New(Options{})
+	c.OnHop(0, 40, 0, 0, 1, 0, 64, true)
+	f := cleanFinal(0, 0, 64, 1)
+	f.ExactHops = false
+	f.NoC.Deflections = 0 // one deflected hop observed
+	f.NoC.ManhattanTotal = 1
+	wantViolation(t, c.Finish(f), "noc.deflections")
+}
+
+// Mutation: fewer hops than the Manhattan lower bound is impossible under
+// any routing and must be caught by name.
+func TestCatchesHopsBelowManhattan(t *testing.T) {
+	c := New(Options{})
+	c.OnHop(0, 40, 0, 0, 1, 0, 64, false)
+	f := cleanFinal(0, 0, 64, 1)
+	f.NoC.ManhattanTotal = 2 // bound says 2, only 1 hop taken
+	wantViolation(t, c.Finish(f), "noc.hops-lower-bound")
+}
+
+// Mutation: under a minimal routing (ExactHops) any surplus hop or any
+// deflection must be caught by name; under a non-minimal routing the same
+// surplus is legal.
+func TestExactHopsTightensLowerBound(t *testing.T) {
+	c := New(Options{})
+	c.OnHop(0, 40, 0, 0, 1, 0, 64, false)
+	c.OnHop(40, 80, 1, 0, 2, 0, 64, false)
+	f := cleanFinal(0, 0, 128, 2)
+	f.ExactHops = true
+	f.NoC.ManhattanTotal = 1 // 2 hops for a 1-hop Manhattan path
+	wantViolation(t, c.Finish(f), "noc.hops-lower-bound")
+
+	c2 := New(Options{})
+	c2.OnHop(0, 40, 0, 0, 1, 0, 64, false)
+	c2.OnHop(40, 80, 1, 0, 2, 0, 64, true)
+	f2 := cleanFinal(0, 0, 128, 2)
+	f2.NoC.Deflections = 1
+	f2.NoC.ManhattanTotal = 1 // deflection legitimately exceeds the bound
+	if err := c2.Finish(f2); err != nil {
+		t.Fatalf("non-minimal surplus reported: %v", err)
+	}
+
+	c3 := New(Options{})
+	c3.OnHop(0, 40, 0, 0, 1, 0, 64, true)
+	f3 := cleanFinal(0, 0, 64, 1)
+	f3.ExactHops = true
+	f3.NoC.Deflections = 1 // minimal routing must never deflect
+	wantViolation(t, c3.Finish(f3), "noc.hops-lower-bound")
 }
 
 func TestCatchesIOMMUConservationBreak(t *testing.T) {
 	c := New(Options{})
-	f := cleanFinal(0, 0, 0)
+	f := cleanFinal(0, 0, 0, 0)
 	f.IOMMU = iommu.Stats{Requests: 5, Walks: 4} // one submission unaccounted
 	wantViolation(t, c.Finish(f), "iommu.conservation")
 }
 
 func TestCatchesUnsettledQueues(t *testing.T) {
 	c := New(Options{})
-	f := cleanFinal(0, 0, 0)
+	f := cleanFinal(0, 0, 0, 0)
 	f.QueueDepth = 2
 	f.WalkersBusy = 1
 	wantViolation(t, c.Finish(f), "iommu.queue-settle")
@@ -135,7 +198,7 @@ func TestCatchesUnsettledQueues(t *testing.T) {
 func TestCatchesLatencyAccountingBreak(t *testing.T) {
 	c := New(Options{})
 	feed(c, 2, 300)
-	f := cleanFinal(2, 300, 0)
+	f := cleanFinal(2, 300, 0, 0)
 	f.RemoteLatencySum = 599 // spans sum to 600
 	wantViolation(t, c.Finish(f), "attr.accounting")
 }
@@ -143,7 +206,7 @@ func TestCatchesLatencyAccountingBreak(t *testing.T) {
 func TestCatchesInexactBreakdown(t *testing.T) {
 	c := New(Options{})
 	feed(c, 1, 300)
-	f := cleanFinal(1, 300, 0)
+	f := cleanFinal(1, 300, 0, 0)
 	f.Breakdown = &attr.Breakdown{Clipped: 1, Stages: map[string]*attr.Dist{}}
 	wantViolation(t, c.Finish(f), "attr.accounting")
 }
@@ -153,7 +216,7 @@ func TestCatchesOverfullLink(t *testing.T) {
 	c.Probes(func(v LinkVisitor) {
 		v(1, 1, "e", 20_000) // busier than the run is long
 	})
-	f := cleanFinal(0, 0, 0)
+	f := cleanFinal(0, 0, 0, 0)
 	f.Settled = false // link check applies even to cut runs
 	wantViolation(t, c.Finish(f), "noc.link-busy")
 }

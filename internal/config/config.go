@@ -6,6 +6,7 @@ package config
 
 import (
 	"fmt"
+	"strings"
 
 	"hdpat/internal/cache"
 	"hdpat/internal/dram"
@@ -362,6 +363,18 @@ func (s System) Validate() error {
 	}
 	if s.WorkloadScale < 1 {
 		return &ValidationError{Field: "workload_scale", Reason: "must be >= 1"}
+	}
+	if s.NoC.BytesPerCycle <= 0 {
+		return &ValidationError{Field: "noc", Reason: fmt.Sprintf("bytes_per_cycle %v must be positive", s.NoC.BytesPerCycle)}
+	}
+	// HopLatency is an unsigned cycle count, so "negative" cannot be
+	// represented; zero is rejected too because the hop latency doubles as
+	// the domain-sharded coordinator's lookahead window.
+	if s.NoC.HopLatency < 1 {
+		return &ValidationError{Field: "noc", Reason: "hop_latency must be >= 1 cycle"}
+	}
+	if !noc.ValidRouting(s.NoC.Routing) {
+		return &ValidationError{Field: "noc.routing", Reason: fmt.Sprintf("unknown routing %q (valid: %s)", s.NoC.Routing, strings.Join(noc.RoutingNames(), ", "))}
 	}
 	return nil
 }

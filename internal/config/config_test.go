@@ -2,6 +2,7 @@ package config
 
 import (
 	"errors"
+	"strings"
 	"testing"
 )
 
@@ -109,13 +110,17 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		// Hostile sizes: a dimension past the cap, and a pair whose product
 		// would overflow 32-bit tile arithmetic if multiplied unchecked.
 		func(s *System) { s.MeshW = MaxMeshDim + 1 },
-		func(s *System) { s.MeshW, s.MeshH = 1 << 20, 1 << 20 },
+		func(s *System) { s.MeshW, s.MeshH = 1<<20, 1<<20 },
 		func(s *System) { s.MeshW, s.MeshH = 1024, 1024 }, // over the tile cap
 		func(s *System) { s.GPM.NumCUs = 0 },
 		func(s *System) { s.IOMMU.Walkers = 0 },
 		func(s *System) { s.HDPAT.Clusters = 0 },
 		func(s *System) { s.PageSize = 1000 },
 		func(s *System) { s.WorkloadScale = 0 },
+		func(s *System) { s.NoC.BytesPerCycle = 0 },
+		func(s *System) { s.NoC.BytesPerCycle = -64 },
+		func(s *System) { s.NoC.HopLatency = 0 },
+		func(s *System) { s.NoC.Routing = "torus" },
 	}
 	for i, mutate := range bad {
 		c := Default()
@@ -146,6 +151,36 @@ func TestValidateMeshBounds(t *testing.T) {
 	c.MeshW, c.MeshH = 30, 30 // the giant-wafer roadmap target
 	if err := c.Validate(); err != nil {
 		t.Errorf("30x30 should validate: %v", err)
+	}
+}
+
+// NoC rejections carry the typed ValidationError (the service layer turns
+// them into HTTP 400s), every routing policy the build knows validates,
+// and the error for an unknown policy names the valid ones.
+func TestValidateNoCRouting(t *testing.T) {
+	c := Default()
+	c.NoC.Routing = "torus"
+	err := c.Validate()
+	var ve *ValidationError
+	if !errors.As(err, &ve) || ve.Field != "noc.routing" {
+		t.Fatalf("unknown routing: got %v, want *ValidationError on noc.routing", err)
+	}
+	if !strings.Contains(err.Error(), "deflect") {
+		t.Errorf("error does not list valid policies: %v", err)
+	}
+
+	c.NoC.BytesPerCycle = 0
+	c.NoC.Routing = ""
+	if err := c.Validate(); !errors.As(err, &ve) || ve.Field != "noc" {
+		t.Fatalf("zero bandwidth: got %v, want *ValidationError on noc", err)
+	}
+
+	for _, name := range []string{"", "xy", "deflect"} {
+		c := Default()
+		c.NoC.Routing = name
+		if err := c.Validate(); err != nil {
+			t.Errorf("routing %q should validate: %v", name, err)
+		}
 	}
 }
 

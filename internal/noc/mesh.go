@@ -1,10 +1,12 @@
 // Package noc models the wafer's interposer mesh network (Table I:
-// 768 GB/s per link, 32-cycle latency per link) with dimension-ordered XY
-// routing. Each directed link serialises traffic at the link bandwidth;
-// a message traverses its path hop by hop, paying serialisation plus the
-// fixed hop latency at each link. This produces the geometry-dependent
-// latency and the multi-hop bandwidth consumption that §III identifies as
-// central to the wafer-scale translation problem.
+// 768 GB/s per link, 32-cycle latency per link). Each directed link
+// serialises traffic at the link bandwidth; a message traverses its path
+// hop by hop, paying serialisation plus the fixed hop latency at each
+// link. This produces the geometry-dependent latency and the multi-hop
+// bandwidth consumption that §III identifies as central to the
+// wafer-scale translation problem. The per-hop direction decision is a
+// pluggable Router policy (router.go): dimension-ordered XY by default,
+// bufferless deflection routing as the cheap-at-scale alternative.
 package noc
 
 import (
@@ -18,9 +20,12 @@ import (
 )
 
 // Config describes the mesh links. At 1 GHz, 768 GB/s is 768 B/cycle.
+// Routing selects the per-hop policy by name (RoutingXY, RoutingDeflect);
+// the empty string means XY.
 type Config struct {
 	HopLatency    sim.VTime
 	BytesPerCycle float64
+	Routing       string
 }
 
 // DefaultConfig matches Table I.
@@ -28,12 +33,19 @@ func DefaultConfig() Config {
 	return Config{HopLatency: 32, BytesPerCycle: 768}
 }
 
-// Stats aggregates network activity.
+// Stats aggregates network activity. ByteHops, HopsTotal and MaxHops count
+// actual link traversals, accumulated per hop as messages move — under XY
+// routing that equals the Manhattan precomputation, under deflection it can
+// exceed it. ManhattanTotal is the routing-independent lower bound (billed
+// at send), so HopsTotal >= ManhattanTotal always, with equality exactly
+// when no message was misrouted.
 type Stats struct {
-	Messages  uint64
-	ByteHops  uint64 // sum over messages of size x hops: the traffic metric of §V-D
-	HopsTotal uint64
-	MaxHops   int
+	Messages       uint64
+	ByteHops       uint64 // sum over hops of message size: the traffic metric of §V-D
+	HopsTotal      uint64
+	MaxHops        int
+	Deflections    uint64 // hops taken off a productive direction (bufferless routing)
+	ManhattanTotal uint64 // sum over messages of Manhattan(src, dst)
 }
 
 // linkSlab holds the state of materialized links in structure-of-arrays
@@ -68,9 +80,10 @@ type Mesh struct {
 	// owned by the tile's domain (slabs[0] when serial), or noLink while
 	// the tile has never sent. Entries are only ever written by the domain
 	// owning the tile, so the sparse map needs no synchronisation.
-	tile  []int32
-	slabs []linkSlab
-	Stats Stats
+	tile   []int32
+	slabs  []linkSlab
+	router Router
+	Stats  Stats
 
 	// Sharded mode (Shard): per-tile domain map, per-domain engines and
 	// per-domain stats shards. A hop's link state is only ever touched by the
@@ -109,14 +122,19 @@ const (
 
 // New builds the network over the given wafer layout. Link state is
 // sparse: only the tile index array is sized by topology; the per-link
-// slab entries materialize on first traffic.
+// slab entries materialize on first traffic. The routing policy is fixed
+// at construction from cfg.Routing; unknown names panic (config.Validate
+// rejects them on every public path first).
 func New(eng *sim.Engine, layout *geom.Mesh, cfg Config) *Mesh {
-	m := &Mesh{cfg: cfg, eng: eng, layout: layout, tile: make([]int32, layout.NumTiles()), slabs: make([]linkSlab, 1)}
+	m := &Mesh{cfg: cfg, eng: eng, layout: layout, tile: make([]int32, layout.NumTiles()), slabs: make([]linkSlab, 1), router: routerFor(cfg)}
 	for i := range m.tile {
 		m.tile[i] = noLink
 	}
 	return m
 }
+
+// Router returns the active routing policy.
+func (m *Mesh) Router() Router { return m.router }
 
 // slabFor returns the slab owning tile id's links: the single serial slab,
 // or the slab of the tile's domain in sharded mode.
@@ -149,6 +167,29 @@ func (m *Mesh) linkProbe(id, dir int) (busy sim.VTime, debt float64, ok bool) {
 	}
 	s := m.slabFor(id)
 	return s.busy[int(base)+dir], s.debt[int(base)+dir], true
+}
+
+// linkFreeAt reports whether tile id's output link in direction dir is free
+// at time now, without materializing it: an untouched link is free by
+// definition. Routers use this to probe contention cheaply.
+func (m *Mesh) linkFreeAt(id, dir int, now sim.VTime) bool {
+	base := m.tile[id]
+	if base == noLink {
+		return true
+	}
+	return m.slabFor(id).nextFree[int(base)+dir] <= now
+}
+
+// statsFor returns the stats shard charged for activity on tile id: the
+// single serial shard, or the shard of the tile's domain in sharded mode.
+// Per-hop stats are charged to the domain owning the hop's source tile —
+// the same ownership rule links follow — so no shard is written
+// concurrently and MergeStats reproduces the serial totals exactly.
+func (m *Mesh) statsFor(id int) *Stats {
+	if m.dom == nil {
+		return &m.Stats
+	}
+	return &m.stats[m.dom[id]]
 }
 
 // AttachMetrics mirrors mesh activity into reg: noc.messages and
@@ -194,6 +235,13 @@ func (m *Mesh) Shard(engs []*sim.Engine, dom []int32) {
 	if len(dom) != m.layout.NumTiles() {
 		panic("noc: domain map length does not match tile count")
 	}
+	// Deflection decisions arbitrate same-cycle output contention, which a
+	// neighbouring domain can influence inside the lookahead window; the
+	// wafer layer declares deflect non-shardable and falls back to serial,
+	// so hitting this is a wiring bug.
+	if m.router.Name() == RoutingDeflect {
+		panic("noc: deflection routing is not shardable (same-cycle output arbitration is cross-domain)")
+	}
 	m.engs = engs
 	m.dom = dom
 	m.stats = make([]Stats, len(engs))
@@ -226,6 +274,8 @@ func (m *Mesh) MergeStats() Stats {
 		if s.MaxHops > m.Stats.MaxHops {
 			m.Stats.MaxHops = s.MaxHops
 		}
+		m.Stats.Deflections += s.Deflections
+		m.Stats.ManhattanTotal += s.ManhattanTotal
 		*s = Stats{}
 	}
 	return m.Stats
@@ -272,21 +322,33 @@ func nextHop(cur, dst geom.Coord) geom.Coord {
 // transfer is one in-flight message: a pooled state machine whose Event
 // fires at each hop arrival. cur is the tile the message has reached; the
 // final arrival hands off to the typed (h, arg) or closure (deliver)
-// completion and recycles the transfer.
+// completion and recycles the transfer. hops counts actual link traversals
+// so far; born is the send time, read by age-based routing policies.
 type transfer struct {
 	m        *Mesh
 	cur, dst geom.Coord
 	size     int
+	hops     int
+	born     sim.VTime
 	h        sim.Handler
 	arg      sim.EventArg
 	deliver  func()
 }
 
 // Event advances the message: deliver if it has reached dst, otherwise take
-// the next link.
+// the next link. Delivery settles the per-message stats that need the
+// final hop count — MaxHops and the hops histogram — charged to the
+// destination tile's shard.
 func (t *transfer) Event(sim.EventArg) {
 	if t.cur == t.dst {
-		m, h, arg, deliver := t.m, t.h, t.arg, t.deliver
+		m, h, arg, deliver, hops := t.m, t.h, t.arg, t.deliver, t.hops
+		st := m.statsFor(m.layout.NodeID(t.cur))
+		if hops > st.MaxHops {
+			st.MaxHops = hops
+		}
+		if m.m != nil {
+			m.m.hops.Observe(uint64(hops))
+		}
 		*t = transfer{}
 		m.tpool.Put(t)
 		if h != nil {
@@ -299,12 +361,17 @@ func (t *transfer) Event(sim.EventArg) {
 	t.step()
 }
 
-// step occupies the output link from t.cur toward t.dst and schedules the
-// arrival at the far end.
+// step asks the routing policy for the next tile, occupies the chosen
+// output link and schedules the arrival at the far end. Byte-hops, hop
+// counts and deflections accrue here, per actual hop, charged to the
+// domain owning the link's source tile — the accounting is exact for any
+// Router, minimal paths or not.
 func (t *transfer) step() {
 	m := t.m
-	next := nextHop(t.cur, t.dst)
 	curID := m.layout.NodeID(t.cur)
+	eng := m.engFor(curID)
+	now := eng.Now()
+	next, deflected := m.router.route(m, t, now)
 	s, li := m.linkIndex(curID, dirOf(t.cur, next))
 	// Serialisation: accumulate fractional cycles so small messages still
 	// consume bandwidth in aggregate.
@@ -315,8 +382,6 @@ func (t *transfer) step() {
 		s.debt[li] -= float64(whole)
 		hold = whole
 	}
-	eng := m.engFor(curID)
-	now := eng.Now()
 	// Inline sim.Line.Occupy over the slab entry: start at max(now,
 	// nextFree), hold the link, accumulate busy cycles.
 	start := now
@@ -327,8 +392,18 @@ func (t *transfer) step() {
 	s.nextFree[li] = end
 	s.busy[li] += hold
 	arrive := end + m.cfg.HopLatency
+	st := m.statsFor(curID)
+	st.HopsTotal++
+	st.ByteHops += uint64(t.size)
+	if deflected {
+		st.Deflections++
+	}
+	if m.m != nil {
+		m.m.byteHops.Add(uint64(t.size))
+	}
+	t.hops++
 	if m.Trace != nil {
-		m.Trace.HopSpan(uint64(now), uint64(arrive), t.cur.X, t.cur.Y, next.X, next.Y, t.size)
+		m.Trace.HopSpan(uint64(now), uint64(arrive), t.cur.X, t.cur.Y, next.X, next.Y, t.size, deflected)
 	}
 	t.cur = next
 	if m.dom == nil {
@@ -348,18 +423,15 @@ func (m *Mesh) send(src, dst geom.Coord, size int, h sim.Handler, arg sim.EventA
 		st, eng = &m.stats[d], m.engs[d]
 	}
 	st.Messages++
-	hops := src.Manhattan(dst) // == len(XYPath): one link per unit distance
-	if hops > st.MaxHops {
-		st.MaxHops = hops
-	}
-	st.HopsTotal += uint64(hops)
-	st.ByteHops += uint64(size) * uint64(hops)
+	man := src.Manhattan(dst) // == len(XYPath): the minimal-path hop count
+	st.ManhattanTotal += uint64(man)
 	if m.m != nil {
 		m.m.messages.Inc()
-		m.m.byteHops.Add(uint64(size) * uint64(hops))
-		m.m.hops.Observe(uint64(hops))
 	}
-	if hops == 0 {
+	if man == 0 {
+		if m.m != nil {
+			m.m.hops.Observe(0)
+		}
 		if h != nil {
 			eng.Post(1, h, arg)
 		} else {
@@ -371,7 +443,7 @@ func (m *Mesh) send(src, dst geom.Coord, size int, h sim.Handler, arg sim.EventA
 	if t == nil {
 		t = new(transfer)
 	}
-	*t = transfer{m: m, cur: src, dst: dst, size: size, h: h, arg: arg, deliver: deliver}
+	*t = transfer{m: m, cur: src, dst: dst, size: size, born: eng.Now(), h: h, arg: arg, deliver: deliver}
 	t.step()
 }
 

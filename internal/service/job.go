@@ -16,9 +16,11 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"time"
 
 	"hdpat/internal/config"
+	"hdpat/internal/noc"
 )
 
 // Kind names what a job simulates.
@@ -61,6 +63,11 @@ type JobSpec struct {
 	// pre-existing canonical encoding and job identity.
 	MeshW int `json:"mesh_w,omitempty"`
 	MeshH int `json:"mesh_h,omitempty"`
+	// Routing overrides the daemon's NoC routing policy for this job's runs
+	// ("" = the daemon's default, "xy" or "deflect"). Unknown names are
+	// rejected at submission with the routing policies the build knows.
+	// Omitempty keeps pre-existing job identities intact.
+	Routing string `json:"routing,omitempty"`
 	// Attribution attaches the per-request latency ledger to every run and
 	// adds a rendered report.md artifact.
 	Attribution bool `json:"attribution,omitempty"`
@@ -111,6 +118,10 @@ func (s JobSpec) Validate() error {
 			return fmt.Errorf("service: mesh %dx%d exceeds the %d-tile bound",
 				s.MeshW, s.MeshH, config.MaxTiles)
 		}
+	}
+	if !noc.ValidRouting(s.Routing) {
+		return fmt.Errorf("service: unknown routing %q (valid: %s)",
+			s.Routing, strings.Join(noc.RoutingNames(), ", "))
 	}
 	return nil
 }
@@ -238,9 +249,9 @@ type Status struct {
 	// executions.
 	Timeline string `json:"timeline,omitempty"`
 	Error    string `json:"error,omitempty"`
-	Created   string     `json:"created,omitempty"`
-	Started   string     `json:"started,omitempty"`
-	Finished  string     `json:"finished,omitempty"`
+	Created  string `json:"created,omitempty"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
 }
 
 // stamp renders a timestamp for Status, empty when unset.

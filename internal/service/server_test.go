@@ -331,11 +331,12 @@ func TestHostileMeshSpecRejected(t *testing.T) {
 
 	base := JobSpec{Kind: KindSimulate, Scheme: "hdpat", Benchmark: "FIR", OpsBudget: 4}
 	hostile := []func(*JobSpec){
-		func(s *JobSpec) { s.MeshW = 0; s.MeshH = 30 },     // one-sided override
-		func(s *JobSpec) { s.MeshW = -4; s.MeshH = -4 },    // negative
-		func(s *JobSpec) { s.MeshW = 2; s.MeshH = 2 },      // below minimum
+		func(s *JobSpec) { s.MeshW = 0; s.MeshH = 30 },            // one-sided override
+		func(s *JobSpec) { s.MeshW = -4; s.MeshH = -4 },           // negative
+		func(s *JobSpec) { s.MeshW = 2; s.MeshH = 2 },             // below minimum
 		func(s *JobSpec) { s.MeshW = 1 << 20; s.MeshH = 1 << 20 }, // would overflow W*H
-		func(s *JobSpec) { s.MeshW = 1024; s.MeshH = 1024 }, // over the tile cap
+		func(s *JobSpec) { s.MeshW = 1024; s.MeshH = 1024 },       // over the tile cap
+		func(s *JobSpec) { s.Routing = "torus" },                  // unknown routing policy
 	}
 	for i, mutate := range hostile {
 		spec := base

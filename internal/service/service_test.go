@@ -107,11 +107,16 @@ func TestSpecValidateAndID(t *testing.T) {
 		{Kind: KindSweep, Schemes: []string{"hdpat"}},
 		{Kind: KindSweep, Schemes: []string{"x"}, Benchmarks: []string{"y"}, Scheme: "z"},
 		{Kind: KindCompare, Scheme: "hdpat", Benchmark: "FIR", OpsBudget: -1},
+		{Kind: KindSimulate, Scheme: "hdpat", Benchmark: "FIR", Routing: "torus"},
 	}
 	for i, spec := range bad {
 		if err := spec.Validate(); err == nil {
 			t.Errorf("spec %d (%+v) validated", i, spec)
 		}
+	}
+	good := JobSpec{Kind: KindSimulate, Scheme: "hdpat", Benchmark: "FIR", Routing: "deflect"}
+	if err := good.Validate(); err != nil {
+		t.Errorf("deflect routing spec rejected: %v", err)
 	}
 	a := sweepSpec()
 	b := sweepSpec()

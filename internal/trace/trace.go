@@ -59,8 +59,10 @@ type Sink interface {
 	OnQueue(stage string, start, end uint64, req uint64)
 	// OnWalk sees one page-table walk occupying an IOMMU walker.
 	OnWalk(start, end uint64, req, vpn uint64)
-	// OnHop sees one NoC link traversal.
-	OnHop(start, end uint64, fromX, fromY, toX, toY, size int)
+	// OnHop sees one NoC link traversal; deflected marks a hop that was
+	// misrouted off a productive direction by bufferless deflection routing
+	// (always false under XY).
+	OnHop(start, end uint64, fromX, fromY, toX, toY, size int, deflected bool)
 	// OnMigration sees one completed page migration.
 	OnMigration(start, end uint64, vpn uint64, from, to int)
 }
@@ -129,9 +131,9 @@ func (s teeSink) OnWalk(start, end uint64, req, vpn uint64) {
 	s.b.OnWalk(start, end, req, vpn)
 }
 
-func (s teeSink) OnHop(start, end uint64, fromX, fromY, toX, toY, size int) {
-	s.a.OnHop(start, end, fromX, fromY, toX, toY, size)
-	s.b.OnHop(start, end, fromX, fromY, toX, toY, size)
+func (s teeSink) OnHop(start, end uint64, fromX, fromY, toX, toY, size int, deflected bool) {
+	s.a.OnHop(start, end, fromX, fromY, toX, toY, size, deflected)
+	s.b.OnHop(start, end, fromX, fromY, toX, toY, size, deflected)
 }
 
 func (s teeSink) OnMigration(start, end uint64, vpn uint64, from, to int) {
@@ -278,19 +280,24 @@ func (t *Tracer) QueueSpan(stage string, start, end uint64, req uint64) {
 }
 
 // HopSpan records one NoC link traversal (serialisation plus hop latency)
-// of a size-byte message.
-func (t *Tracer) HopSpan(start, end uint64, fromX, fromY, toX, toY, size int) {
+// of a size-byte message. Deflected hops carry an extra defl=1 key; XY
+// traces emit exactly the pre-deflection byte stream.
+func (t *Tracer) HopSpan(start, end uint64, fromX, fromY, toX, toY, size int, deflected bool) {
 	if t == nil {
 		return
 	}
 	if t.sink != nil {
-		t.sink.OnHop(start, end, fromX, fromY, toX, toY, size)
+		t.sink.OnHop(start, end, fromX, fromY, toX, toY, size, deflected)
 	}
-	t.emit("noc", "hop", start, int64(end-start), []KV{
+	kv := []KV{
 		{"fx", uint64(fromX)}, {"fy", uint64(fromY)},
 		{"tx", uint64(toX)}, {"ty", uint64(toY)},
 		{"bytes", uint64(size)},
-	})
+	}
+	if deflected {
+		kv = append(kv, KV{"defl", 1})
+	}
+	t.emit("noc", "hop", start, int64(end-start), kv)
 }
 
 // MigrationSpan records one page migration (shootdown through data copy)

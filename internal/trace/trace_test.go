@@ -14,7 +14,7 @@ func TestNilTracerIsSafe(t *testing.T) {
 	tr.Instant("noc", "drop", 5)
 	tr.WalkSpan(0, 10, 1, 2)
 	tr.QueueSpan("iommu.pwq", 0, 5, 1)
-	tr.HopSpan(0, 32, 0, 0, 1, 0, 64)
+	tr.HopSpan(0, 32, 0, 0, 1, 0, 64, false)
 	tr.MigrationSpan(0, 100, 42, 1, 2)
 	tr.RequestSpan(0, 100, 1, 0, 3)
 	if tr.Run(3) != nil {
@@ -33,7 +33,7 @@ func TestJSONLFormat(t *testing.T) {
 	tr := New(&buf, JSONL)
 	tr.WalkSpan(100, 600, 7, 0x42)
 	tr.Instant("noc", "drop", 50, KV{"bytes", 64})
-	tr.Run(3).HopSpan(10, 42, 0, 1, 1, 1, 32)
+	tr.Run(3).HopSpan(10, 42, 0, 1, 1, 1, 32, false)
 	if tr.Events() != 3 {
 		t.Errorf("events = %d", tr.Events())
 	}
@@ -147,8 +147,10 @@ func (s *recordingSink) OnQueue(stage string, start, end uint64, req uint64) {
 	s.queues++
 	s.lastStage = stage
 }
-func (s *recordingSink) OnWalk(start, end uint64, req, vpn uint64)         { s.walks++ }
-func (s *recordingSink) OnHop(start, end uint64, fx, fy, tx, ty, size int) { s.hops++ }
+func (s *recordingSink) OnWalk(start, end uint64, req, vpn uint64) { s.walks++ }
+func (s *recordingSink) OnHop(start, end uint64, fx, fy, tx, ty, size int, deflected bool) {
+	s.hops++
+}
 func (s *recordingSink) OnMigration(start, end uint64, vpn uint64, from, to int) {
 	s.migrations++
 }
@@ -161,7 +163,7 @@ func TestSinkReceivesTypedSpans(t *testing.T) {
 	tr := Attach(New(&buf, JSONL), &sink)
 	tr.WalkSpan(0, 10, 1, 2)
 	tr.QueueSpan("iommu.pwq", 0, 5, 1)
-	tr.HopSpan(0, 32, 0, 0, 1, 0, 64)
+	tr.HopSpan(0, 32, 0, 0, 1, 0, 64, false)
 	tr.MigrationSpan(0, 100, 42, 1, 2)
 	tr.RequestSpan(0, 50, 1, 3, 7)
 	if err := tr.Close(); err != nil {
@@ -248,7 +250,7 @@ func TestByteDeterminism(t *testing.T) {
 		tr := New(&buf, format)
 		for i := uint64(0); i < 100; i++ {
 			tr.WalkSpan(i*10, i*10+7, i, i<<12)
-			tr.Run(int(i%4)).HopSpan(i, i+32, 0, 0, 1, 0, 64)
+			tr.Run(int(i%4)).HopSpan(i, i+32, 0, 0, 1, 0, 64, false)
 		}
 		tr.Close()
 		return buf.Bytes()
@@ -268,7 +270,7 @@ func TestAttachComposesSinks(t *testing.T) {
 	tr := Attach(Attach(nil, &first), &second)
 	tr.WalkSpan(0, 10, 1, 2)
 	tr.QueueSpan("iommu.admission", 0, 5, 1)
-	tr.HopSpan(0, 32, 0, 0, 1, 0, 64)
+	tr.HopSpan(0, 32, 0, 0, 1, 0, 64, false)
 	tr.MigrationSpan(0, 100, 42, 1, 2)
 	tr.RequestSpan(0, 50, 1, 3, 7)
 	for name, s := range map[string]*recordingSink{"first": &first, "second": &second} {

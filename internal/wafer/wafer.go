@@ -135,10 +135,15 @@ type Options struct {
 	// internal/sim (lookahead = the NoC hop latency). 0 or 1 runs serially.
 	// Results are bit-identical to serial. Runs that attach observers
 	// (Metrics, Trace, Attribution, Invariants, Validate, Hooks), enable
-	// Migration, or use a scheme whose protocol reads completion state across
-	// domains mid-window (route, concentric, distributed) fall back to
-	// serial automatically.
+	// Migration, use deflection routing (same-cycle output arbitration is
+	// cross-domain), or use a scheme whose protocol reads completion state
+	// across domains mid-window (route, concentric, distributed) fall back
+	// to serial automatically.
 	Domains int
+	// Routing, when non-empty, overrides cfg.NoC.Routing for this run:
+	// noc.RoutingXY (dimension-ordered, minimal) or noc.RoutingDeflect
+	// (bufferless deflection). Validated with the configuration.
+	Routing string
 }
 
 // Result is everything a run produces.
@@ -290,14 +295,19 @@ func runEngine(ctx context.Context, eng *sim.Engine, limit sim.VTime) error {
 // serially, which is always exact.
 var errHazard = errors.New("wafer: sharded run completion hazard")
 
-// shardable reports whether opts can run domain-sharded with bit-identical
-// results. Observers are rejected because their callbacks and samplers
-// assume one global event order mid-run; route/concentric/distributed poll
+// shardable reports whether cfg/opts can run domain-sharded with
+// bit-identical results. Observers are rejected because their callbacks and
+// samplers assume one global event order mid-run; deflection routing
+// arbitrates same-cycle output contention, which a neighbouring domain can
+// influence inside the lookahead window; route/concentric/distributed poll
 // request completion across domains mid-window; MaxCycles must fit the
 // hazard detector's 32-bit cycle packing.
-func shardable(opts Options) bool {
+func shardable(cfg config.System, opts Options) bool {
 	if opts.Metrics != nil || opts.Trace != nil || opts.Attribution != nil ||
 		opts.Invariants || opts.Validate || opts.Migration != nil || len(opts.Hooks) > 0 {
+		return false
+	}
+	if cfg.NoC.Routing == noc.RoutingDeflect {
 		return false
 	}
 	switch opts.Scheme {
@@ -327,6 +337,9 @@ func partitionTiles(mesh *geom.Mesh, nd int) []int32 {
 // when ctx is cancelled mid-run (checked between engine slices; a cancelled
 // run returns a zero Result).
 func RunContext(ctx context.Context, cfg config.System, opts Options) (Result, error) {
+	if opts.Routing != "" {
+		cfg.NoC.Routing = opts.Routing
+	}
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -343,7 +356,7 @@ func RunContext(ctx context.Context, cfg config.System, opts Options) (Result, e
 		opts.Scheme = "baseline"
 	}
 	nd := opts.Domains
-	if nd > 1 && shardable(opts) {
+	if nd > 1 && shardable(cfg, opts) {
 		// More domains than bands along the partition axis leaves engines
 		// with no tiles.
 		if m := max(cfg.MeshW, cfg.MeshH); nd > m {
@@ -686,6 +699,7 @@ func run(ctx context.Context, cfg config.System, opts Options, nd int) (Result, 
 			WalkersBusy: io.WalkersBusy(),
 			IOMMU:       io.Stats,
 			NoC:         network.Stats,
+			ExactHops:   cfg.NoC.Routing != noc.RoutingDeflect,
 			RemoteReqs:  res.RemoteRequests(), RemoteLatencySum: latSum,
 			Breakdown: res.Breakdown,
 		}

@@ -24,6 +24,7 @@ type runConfig struct {
 	maxCycles  uint64
 	workers    int
 	domains    *int
+	routing    string
 	progress   func(done, total int)
 	monitor    *BatchMonitor
 	perRun     func(i int) []Option
@@ -130,6 +131,16 @@ func WithWorkers(n int) Option {
 // and WithDomains when latency of a single large run matters.
 func WithDomains(n int) Option {
 	return func(rc *runConfig) { rc.domains = &n }
+}
+
+// WithRouting selects the NoC routing policy by name: "xy" (dimension-
+// ordered, minimal — the default) or "deflect" (bufferless deflection: a
+// contended productive output misroutes the loser onto a free port, with
+// age-based priority as the livelock guard). Unknown names are rejected
+// with a typed config validation error before the run starts. Deflection
+// routing is not shardable; WithDomains falls back to serial under it.
+func WithRouting(name string) Option {
+	return func(rc *runConfig) { rc.routing = name }
 }
 
 // WithProgress registers a callback invoked after each run of a batch
